@@ -1,0 +1,89 @@
+//! Router decision cost and a small end-to-end distributed run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ssj_core::{JoinConfig, Threshold};
+use ssj_distrib::{
+    run_distributed, BroadcastRouter, DistributedJoinConfig, LengthRouter, LocalAlgo,
+    PartitionMethod, PrefixRouter, Router, Strategy,
+};
+use ssj_partition::{CostModel, LengthHistogram};
+use ssj_workloads::{DatasetProfile, StreamGenerator};
+use std::hint::black_box;
+
+fn bench_routers(c: &mut Criterion) {
+    let records = StreamGenerator::new(DatasetProfile::aol(), 3).take_records(10_000);
+    let t = Threshold::jaccard(0.8);
+    let hist = LengthHistogram::from_records(&records);
+    let cost = CostModel::build(&hist, t, hist.max_len());
+    let partition = ssj_partition::load_aware(&cost, 8);
+    let mut g = c.benchmark_group("router_decisions");
+    g.throughput(Throughput::Elements(records.len() as u64));
+    g.bench_function(BenchmarkId::new("length", 8), |b| {
+        let mut r = LengthRouter::new(t, partition.clone());
+        b.iter(|| {
+            let mut msgs = 0usize;
+            for rec in &records {
+                msgs += r.route(black_box(rec)).message_count();
+            }
+            black_box(msgs)
+        })
+    });
+    g.bench_function(BenchmarkId::new("prefix", 8), |b| {
+        let mut r = PrefixRouter::new(t, 8);
+        b.iter(|| {
+            let mut msgs = 0usize;
+            for rec in &records {
+                msgs += r.route(black_box(rec)).message_count();
+            }
+            black_box(msgs)
+        })
+    });
+    g.bench_function(BenchmarkId::new("broadcast", 8), |b| {
+        let mut r = BroadcastRouter::new(8);
+        b.iter(|| {
+            let mut msgs = 0usize;
+            for rec in &records {
+                msgs += r.route(black_box(rec)).message_count();
+            }
+            black_box(msgs)
+        })
+    });
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let records = StreamGenerator::new(DatasetProfile::tweet(), 9).take_records(3_000);
+    let join = JoinConfig::jaccard(0.8);
+    let mut g = c.benchmark_group("distributed_e2e_3k");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(records.len() as u64));
+    for (name, strategy) in [
+        (
+            "length",
+            Strategy::LengthAuto {
+                method: PartitionMethod::LoadAware,
+                sample: 500,
+            },
+        ),
+        ("prefix", Strategy::Prefix),
+        ("broadcast", Strategy::Broadcast),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let cfg = DistributedJoinConfig {
+                    k: 4,
+                    join,
+                    local: LocalAlgo::bundle(),
+                    strategy: strategy.clone(),
+                    channel_capacity: 1024,
+                    source_rate: None,
+                };
+                black_box(run_distributed(black_box(&records), &cfg).pairs.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_routers, bench_end_to_end);
+criterion_main!(benches);

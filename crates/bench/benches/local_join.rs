@@ -1,0 +1,40 @@
+//! Whole-stream throughput of the local joiners (figure F5's micro side).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ssj_core::{join::run_stream, AllPairsJoiner, BundleJoiner, JoinConfig, PpJoinJoiner};
+use ssj_workloads::{DatasetProfile, StreamGenerator};
+use std::hint::black_box;
+
+fn bench_local_join(c: &mut Criterion) {
+    let n = 4_000;
+    let records =
+        StreamGenerator::new(DatasetProfile::tweet().with_dup_rate(0.3), 7).take_records(n);
+    let mut g = c.benchmark_group("local_join_tweet");
+    g.throughput(Throughput::Elements(n as u64));
+    g.sample_size(10);
+    for tau in [0.7, 0.9] {
+        let cfg = JoinConfig::jaccard(tau);
+        g.bench_with_input(BenchmarkId::new("allpairs", tau), &tau, |b, _| {
+            b.iter(|| {
+                let mut j = AllPairsJoiner::new(cfg);
+                black_box(run_stream(&mut j, black_box(&records)).len())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("ppjoin", tau), &tau, |b, _| {
+            b.iter(|| {
+                let mut j = PpJoinJoiner::new(cfg);
+                black_box(run_stream(&mut j, black_box(&records)).len())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("bundle", tau), &tau, |b, _| {
+            b.iter(|| {
+                let mut j = BundleJoiner::with_defaults(cfg);
+                black_box(run_stream(&mut j, black_box(&records)).len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_local_join);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Partitioner cost: exact minimax DP vs binary-search greedy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssj_core::Threshold;
+use ssj_partition::{load_aware, load_aware_greedy, CostModel, LengthHistogram};
+use ssj_workloads::{DatasetProfile, StreamGenerator};
+use std::hint::black_box;
+
+fn bench_partitioners(c: &mut Criterion) {
+    let records = StreamGenerator::new(DatasetProfile::enron(), 5).take_records(20_000);
+    let hist = LengthHistogram::from_records(&records);
+    let cost = CostModel::build(&hist, Threshold::jaccard(0.8), hist.max_len());
+    let mut g = c.benchmark_group("length_partition");
+    for &k in &[4usize, 16, 64] {
+        g.bench_with_input(BenchmarkId::new("dp_exact", k), &k, |b, &k| {
+            b.iter(|| black_box(load_aware(black_box(&cost), k)))
+        });
+        g.bench_with_input(BenchmarkId::new("greedy_bsearch", k), &k, |b, &k| {
+            b.iter(|| black_box(load_aware_greedy(black_box(&cost), k)))
+        });
+    }
+    g.finish();
+
+    c.bench_function("cost_model_build", |b| {
+        b.iter(|| {
+            black_box(CostModel::build(
+                black_box(&hist),
+                Threshold::jaccard(0.8),
+                hist.max_len(),
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_partitioners);
+criterion_main!(benches);

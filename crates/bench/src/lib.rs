@@ -1,0 +1,42 @@
+//! The experiment harness: one function per table/figure of the
+//! evaluation (see DESIGN.md §5 and EXPERIMENTS.md).
+//!
+//! Every experiment prints an aligned table to stdout and writes the same
+//! rows as CSV under `results/`. Absolute numbers are machine-dependent;
+//! the *shapes* (who wins, by what factor, where crossovers sit) are what
+//! EXPERIMENTS.md compares against the paper.
+
+#![warn(missing_docs)]
+
+pub mod exps;
+pub mod table;
+pub mod workload;
+
+/// Global experiment scaling knobs (CLI `--n`, `--quick`).
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Records per run.
+    pub n: usize,
+    /// Quick mode: fewer parameter points, smaller streams.
+    pub quick: bool,
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Self {
+            n: 20_000,
+            quick: false,
+        }
+    }
+}
+
+impl Scale {
+    /// Effective stream size (quick mode quarters it).
+    pub fn n(&self) -> usize {
+        if self.quick {
+            (self.n / 4).max(500)
+        } else {
+            self.n
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Tiny flag parser: `--key value` pairs plus boolean flags. Hand-rolled
+//! to keep the dependency set at the workspace's approved list.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Parsed command arguments.
+#[derive(Debug, Default)]
+pub struct Args {
+    values: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// A parse or lookup failure, rendered to the user as-is.
+#[derive(Debug)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses `--key value` and `--flag` tokens.
+    pub fn parse(argv: &[String]) -> Result<Args, ArgError> {
+        let mut args = Args::default();
+        let mut i = 0;
+        while i < argv.len() {
+            let token = &argv[i];
+            let Some(key) = token.strip_prefix("--") else {
+                return Err(ArgError(format!("unexpected argument '{token}'")));
+            };
+            // A value follows unless the next token is another flag or the
+            // end of input.
+            if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                args.values.insert(key.to_owned(), argv[i + 1].clone());
+                i += 2;
+            } else {
+                args.flags.push(key.to_owned());
+                i += 1;
+            }
+        }
+        Ok(args)
+    }
+
+    /// A required string value.
+    pub fn required(&self, key: &str) -> Result<&str, ArgError> {
+        self.values
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| ArgError(format!("missing required --{key}")))
+    }
+
+    /// An optional string value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// An optional parsed value with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{key}: cannot parse '{v}'"))),
+        }
+    }
+
+    /// Whether a boolean flag was given.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| (*x).to_owned()).collect()
+    }
+
+    #[test]
+    fn parses_key_values_and_flags() {
+        let a = Args::parse(&argv(&["--tau", "0.8", "--verbose", "--k", "4"])).unwrap();
+        assert_eq!(a.required("tau").unwrap(), "0.8");
+        assert_eq!(a.get_or("k", 1usize).unwrap(), 4);
+        assert!(a.flag("verbose"));
+        assert!(!a.flag("quiet"));
+    }
+
+    #[test]
+    fn missing_required_reports_key() {
+        let a = Args::parse(&argv(&[])).unwrap();
+        let e = a.required("input").unwrap_err();
+        assert!(e.to_string().contains("--input"));
+    }
+
+    #[test]
+    fn bad_parse_reports_value() {
+        let a = Args::parse(&argv(&["--k", "banana"])).unwrap();
+        let e = a.get_or("k", 1usize).unwrap_err();
+        assert!(e.to_string().contains("banana"));
+    }
+
+    #[test]
+    fn positional_arguments_rejected() {
+        assert!(Args::parse(&argv(&["stray"])).is_err());
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = Args::parse(&argv(&[])).unwrap();
+        assert_eq!(a.get_or("tau", 0.8f64).unwrap(), 0.8);
+        assert!(a.get("missing").is_none());
+    }
+}

@@ -1,0 +1,256 @@
+//! The four `dssj` subcommands.
+
+use crate::args::{ArgError, Args};
+use ssj_core::{JoinConfig, Threshold, Window};
+use ssj_distrib::{
+    run_bistream_distributed, run_distributed, DistributedJoinConfig, LocalAlgo, PartitionMethod,
+    Strategy,
+};
+use ssj_partition::{imbalance, load_aware, CostModel, LengthHistogram};
+use ssj_text::{load_lines, Corpus, QGramTokenizer, Record, WordTokenizer};
+use ssj_workloads::{DatasetProfile, StreamGenerator};
+use std::error::Error;
+use std::io::Write;
+use std::path::Path;
+use std::process::ExitCode;
+
+type CliResult = Result<(), Box<dyn Error>>;
+
+/// Prints usage and returns the conventional exit code.
+pub fn usage() -> ExitCode {
+    eprintln!(
+        "usage:
+  dssj join      --input FILE [--tau T=0.8] [--algo bundle|ppjoin|allpairs]
+                 [--qgram Q] [--window N] [--k K=4] [--show-pairs N=10]
+  dssj bistream  --left FILE --right FILE [--tau T=0.8] [--algo A] [--k K=4]
+  dssj generate  --profile aol|dblp|enron|tweet --n N --out FILE [--seed S=1]
+  dssj partition --input FILE [--tau T=0.8] [--k K=8]"
+    );
+    ExitCode::from(2)
+}
+
+fn load(path: &str, args: &Args) -> Result<Corpus, Box<dyn Error>> {
+    let corpus = match args.get("qgram") {
+        Some(q) => {
+            let q: usize = q
+                .parse()
+                .map_err(|_| ArgError(format!("--qgram: cannot parse '{q}'")))?;
+            load_lines(Path::new(path), QGramTokenizer::new(q), 1)?
+        }
+        None => load_lines(Path::new(path), WordTokenizer::default(), 1)?,
+    };
+    Ok(corpus)
+}
+
+fn join_config(args: &Args) -> Result<JoinConfig, ArgError> {
+    let tau: f64 = args.get_or("tau", 0.8)?;
+    if !(0.0..=1.0).contains(&tau) || tau == 0.0 {
+        return Err(ArgError(format!("--tau must be in (0, 1], got {tau}")));
+    }
+    let window = match args.get("window") {
+        None => Window::Unbounded,
+        Some(w) => Window::Count(
+            w.parse()
+                .map_err(|_| ArgError(format!("--window: cannot parse '{w}'")))?,
+        ),
+    };
+    Ok(JoinConfig {
+        threshold: Threshold::jaccard(tau),
+        window,
+    })
+}
+
+fn local_algo(args: &Args) -> Result<LocalAlgo, ArgError> {
+    match args.get("algo").unwrap_or("bundle") {
+        "bundle" => Ok(LocalAlgo::bundle()),
+        "ppjoin" => Ok(LocalAlgo::PpJoin),
+        "allpairs" => Ok(LocalAlgo::AllPairs),
+        "naive" => Ok(LocalAlgo::Naive),
+        other => Err(ArgError(format!("--algo: unknown algorithm '{other}'"))),
+    }
+}
+
+fn dist_config(args: &Args, join: JoinConfig) -> Result<DistributedJoinConfig, ArgError> {
+    let k: usize = args.get_or("k", 4)?;
+    Ok(DistributedJoinConfig {
+        k,
+        join,
+        local: local_algo(args)?,
+        strategy: Strategy::LengthAuto {
+            method: PartitionMethod::LoadAware,
+            sample: 10_000,
+        },
+        channel_capacity: 1024,
+        source_rate: None,
+    })
+}
+
+fn print_summary(out: &ssj_distrib::DistributedJoinResult) {
+    println!("records     : {}", out.records);
+    println!("pairs       : {}", out.pairs.len());
+    println!("throughput  : {:.0} records/s", out.throughput());
+    println!(
+        "comm        : {:.2} msgs/record, {:.0} bytes/record, replication {:.2}",
+        out.msgs_per_record(),
+        out.bytes_per_record(),
+        out.replication()
+    );
+    println!(
+        "latency     : mean {:.0} us, p99 {:.0} us",
+        out.latency.mean().as_secs_f64() * 1e6,
+        out.latency.quantile(0.99).as_secs_f64() * 1e6
+    );
+}
+
+/// `dssj join` — self-join one file of line-documents.
+pub fn join(args: &Args) -> CliResult {
+    let corpus = load(args.required("input")?, args)?;
+    let join = join_config(args)?;
+    let cfg = dist_config(args, join)?;
+    let out = run_distributed(corpus.records(), &cfg);
+    print_summary(&out);
+    if args.flag("verbose") {
+        for j in &out.joiners {
+            println!(
+                "joiner {}: indexed {} candidates {} verifications {} results {}",
+                j.task, j.stats.indexed, j.stats.candidates, j.stats.verifications,
+                j.stats.results
+            );
+        }
+    }
+    let show: usize = args.get_or("show-pairs", 10)?;
+    let mut pairs = out.pairs.clone();
+    pairs.sort_by(|a, b| b.similarity.total_cmp(&a.similarity).then(a.key().cmp(&b.key())));
+    for m in pairs.iter().take(show) {
+        println!(
+            "{:.3}  line {} <-> line {}",
+            m.similarity, m.earlier.0, m.later.0
+        );
+    }
+    Ok(())
+}
+
+/// `dssj bistream` — join two files against each other.
+pub fn bistream(args: &Args) -> CliResult {
+    // Token ids must come from one shared dictionary and record ids must be
+    // globally unique, so both files are tokenized together.
+    let (left_records, right_records) = tokenize_together(
+        args.required("left")?,
+        args.required("right")?,
+        args,
+    )?;
+    let join = join_config(args)?;
+    let cfg = dist_config(args, join)?;
+    let out = run_bistream_distributed(&left_records, &right_records, &cfg);
+    print_summary(&out);
+    let show: usize = args.get_or("show-pairs", 10)?;
+    for m in out.pairs.iter().take(show) {
+        println!("{:.3}  {:?} <-> {:?}", m.similarity, m.earlier, m.later);
+    }
+    Ok(())
+}
+
+/// Tokenizes two files under one shared dictionary: the left file's lines
+/// take the first record ids, the right file's the following ones (ids are
+/// arrival order, so here "all of left arrived before right" — windowed
+/// bi-stream joins from files should pre-interleave the inputs).
+fn tokenize_together(
+    left_path: &str,
+    right_path: &str,
+    args: &Args,
+) -> Result<(Vec<Record>, Vec<Record>), Box<dyn Error>> {
+    use ssj_text::{CorpusBuilder, Tokenizer};
+    fn build<T: Tokenizer>(
+        left_path: &str,
+        right_path: &str,
+        tokenizer: T,
+    ) -> Result<(Vec<Record>, usize), Box<dyn Error>> {
+        let left_text = std::fs::read_to_string(left_path)?;
+        let right_text = std::fs::read_to_string(right_path)?;
+        let mut builder = CorpusBuilder::new(tokenizer);
+        let mut n_left = 0;
+        let mut ts = 0;
+        for line in left_text.lines() {
+            let before = builder.len();
+            builder.push_text(line, ts);
+            if builder.len() > before {
+                n_left += 1;
+                ts += 1;
+            }
+        }
+        for line in right_text.lines() {
+            builder.push_text(line, ts);
+            ts += 1;
+        }
+        Ok((builder.build().into_records(), n_left))
+    }
+    let (records, n_left) = match args.get("qgram") {
+        Some(q) => {
+            let q: usize = q
+                .parse()
+                .map_err(|_| ArgError(format!("--qgram: cannot parse '{q}'")))?;
+            build(left_path, right_path, QGramTokenizer::new(q))?
+        }
+        None => build(left_path, right_path, WordTokenizer::default())?,
+    };
+    let left = records[..n_left].to_vec();
+    let right = records[n_left..].to_vec();
+    Ok((left, right))
+}
+
+/// `dssj generate` — write a synthetic corpus as pseudo-word text.
+pub fn generate(args: &Args) -> CliResult {
+    let profile_name = args.required("profile")?;
+    let profile = DatasetProfile::by_name(profile_name)
+        .ok_or_else(|| ArgError(format!("unknown profile '{profile_name}'")))?;
+    let n: usize = args.get_or("n", 10_000)?;
+    let seed: u64 = args.get_or("seed", 1)?;
+    let out_path = args.required("out")?;
+    let records = StreamGenerator::new(profile, seed).take_records(n);
+    let mut file = std::io::BufWriter::new(std::fs::File::create(out_path)?);
+    for r in &records {
+        let mut first = true;
+        for t in r.tokens() {
+            if !first {
+                write!(file, " ")?;
+            }
+            write!(file, "t{}", t.raw())?;
+            first = false;
+        }
+        writeln!(file)?;
+    }
+    file.flush()?;
+    println!("wrote {} records to {out_path}", records.len());
+    Ok(())
+}
+
+/// `dssj partition` — show the load-aware partition plan for a corpus.
+pub fn partition(args: &Args) -> CliResult {
+    let corpus = load(args.required("input")?, args)?;
+    let tau: f64 = args.get_or("tau", 0.8)?;
+    let k: usize = args.get_or("k", 8)?;
+    let hist = LengthHistogram::from_records(corpus.records());
+    if hist.is_empty() {
+        return Err(Box::new(ArgError("input has no records".into())));
+    }
+    let cost = CostModel::build(&hist, Threshold::jaccard(tau), hist.max_len());
+    let plan = load_aware(&cost, k);
+    println!(
+        "{} records, lengths 1..={}, mean {:.1}",
+        hist.total(),
+        hist.max_len(),
+        hist.mean()
+    );
+    println!("load-aware partition for k = {k}, tau = {tau}:");
+    let loads = plan.loads(&cost);
+    let total: f64 = loads.iter().sum();
+    for (i, load) in loads.iter().enumerate() {
+        let (lo, hi) = plan.range(i);
+        println!(
+            "  joiner {i}: lengths [{lo:>4}, {hi:>4}]  load {:>5.1}%",
+            100.0 * load / total.max(1e-12)
+        );
+    }
+    println!("imbalance (max/avg): {:.3}", imbalance(&plan, &cost));
+    Ok(())
+}

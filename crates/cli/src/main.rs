@@ -1,0 +1,49 @@
+//! `dssj` — the command-line interface.
+//!
+//! ```text
+//! dssj join      --input FILE [--tau T] [--algo bundle|ppjoin|allpairs]
+//!                [--qgram Q] [--window N] [--k K] [--show-pairs N]
+//! dssj bistream  --left FILE --right FILE [--tau T] [--algo ...] [--k K]
+//! dssj generate  --profile aol|dblp|enron|tweet --n N --out FILE [--seed S]
+//! dssj partition --input FILE [--tau T] [--k K]
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = argv.split_first() else {
+        return commands::usage();
+    };
+    let parsed = match args::Args::parse(rest) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return commands::usage();
+        }
+    };
+    let result = match command.as_str() {
+        "join" => commands::join(&parsed),
+        "bistream" => commands::bistream(&parsed),
+        "generate" => commands::generate(&parsed),
+        "partition" => commands::partition(&parsed),
+        "--help" | "-h" | "help" => {
+            commands::usage();
+            return ExitCode::SUCCESS;
+        }
+        other => {
+            eprintln!("error: unknown command '{other}'");
+            return commands::usage();
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

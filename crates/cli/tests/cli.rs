@@ -1,0 +1,101 @@
+//! End-to-end CLI tests driving the built `dssj` binary.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn dssj(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_dssj"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn write_temp(name: &str, content: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("dssj-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, content).unwrap();
+    path
+}
+
+const DOCS: &str = "apache storm stream processing\n\
+                    stream processing with apache storm\n\
+                    rust borrow checker explained\n\
+                    the rust borrow checker, explained\n";
+
+#[test]
+fn join_finds_similar_lines() {
+    let input = write_temp("join_input.txt", DOCS);
+    let out = dssj(&["join", "--input", input.to_str().unwrap(), "--tau", "0.6"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("pairs       : 2"), "{stdout}");
+    assert!(stdout.contains("line 0 <-> line 1"), "{stdout}");
+    assert!(stdout.contains("line 2 <-> line 3"), "{stdout}");
+}
+
+#[test]
+fn join_with_qgrams() {
+    let input = write_temp("join_qgram.txt", "similarity join\nsimilarity joins\nunrelated words\n");
+    let out = dssj(&[
+        "join", "--input", input.to_str().unwrap(), "--tau", "0.7", "--qgram", "3",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("pairs       : 1"), "{stdout}");
+}
+
+#[test]
+fn bistream_joins_two_files() {
+    let left = write_temp("bi_left.txt", "breaking news about storms\ncalm weather today\n");
+    let right = write_temp("bi_right.txt", "breaking news about storms\n");
+    let out = dssj(&[
+        "bistream",
+        "--left", left.to_str().unwrap(),
+        "--right", right.to_str().unwrap(),
+        "--tau", "0.9",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("pairs       : 1"), "{stdout}");
+}
+
+#[test]
+fn generate_then_partition_roundtrip() {
+    let corpus = std::env::temp_dir().join("dssj-cli-tests/gen.txt");
+    let out = dssj(&[
+        "generate", "--profile", "aol", "--n", "500",
+        "--out", corpus.to_str().unwrap(), "--seed", "7",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(&corpus).unwrap();
+    assert_eq!(text.lines().count(), 500);
+
+    let out = dssj(&["partition", "--input", corpus.to_str().unwrap(), "--k", "4"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("joiner 0"), "{stdout}");
+    assert!(stdout.contains("imbalance"), "{stdout}");
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = dssj(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn missing_required_flag_fails() {
+    let out = dssj(&["join"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--input"));
+}
+
+#[test]
+fn bad_tau_rejected() {
+    let input = write_temp("tau.txt", "a b c\n");
+    let out = dssj(&["join", "--input", input.to_str().unwrap(), "--tau", "1.5"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("tau"));
+}

@@ -1,0 +1,410 @@
+//! Storage machinery shared by the indexed joiners: a slotted record store
+//! with tombstones, an inverted prefix index with lazy posting pruning, and
+//! a stamp-based candidate deduplication filter.
+//!
+//! Eviction marks slots dead; postings referencing dead slots are pruned
+//! *lazily* while a list is scanned (the scan already pays for the
+//! traversal), and the whole structure is compacted when the dead fraction
+//! grows too large, so memory stays proportional to the live window.
+
+use crate::window::EvictionQueue;
+use ssj_text::{FxHashMap, Record, TokenId};
+
+/// Slot handle into a [`RecordStore`].
+pub type Slot = u32;
+
+/// A tombstoning slab of values addressed by [`Slot`].
+#[derive(Debug)]
+pub struct SlotStore<T> {
+    slots: Vec<Option<T>>,
+    live: usize,
+}
+
+/// The record slab used by the per-record joiners.
+pub type RecordStore = SlotStore<Record>;
+
+impl<T> Default for SlotStore<T> {
+    fn default() -> Self {
+        Self {
+            slots: Vec::new(),
+            live: 0,
+        }
+    }
+}
+
+impl<T> SlotStore<T> {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores a value, returning its slot. Slots are not reused until
+    /// [`compact`](Self::compact).
+    pub fn insert(&mut self, value: T) -> Slot {
+        let slot = self.slots.len() as Slot;
+        self.slots.push(Some(value));
+        self.live += 1;
+        slot
+    }
+
+    /// The value in `slot`, if still live.
+    #[inline]
+    pub fn get(&self, slot: Slot) -> Option<&T> {
+        self.slots.get(slot as usize).and_then(|s| s.as_ref())
+    }
+
+    /// Mutable access to the value in `slot`, if still live.
+    #[inline]
+    pub fn get_mut(&mut self, slot: Slot) -> Option<&mut T> {
+        self.slots.get_mut(slot as usize).and_then(|s| s.as_mut())
+    }
+
+    /// Tombstones `slot`, returning the value.
+    pub fn remove(&mut self, slot: Slot) -> Option<T> {
+        let r = self.slots.get_mut(slot as usize).and_then(Option::take);
+        if r.is_some() {
+            self.live -= 1;
+        }
+        r
+    }
+
+    /// Iterates live `(slot, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Slot, &T)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|v| (i as Slot, v)))
+    }
+
+    /// Live value count.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Dead (tombstoned) slot count.
+    pub fn dead(&self) -> usize {
+        self.slots.len() - self.live
+    }
+
+    /// Total slots allocated (live + dead).
+    pub fn capacity_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Rebuilds the slab with live values only and returns the remap table:
+    /// `remap[old_slot] = new_slot` (or [`Slot::MAX`] for dead slots).
+    /// Callers must rewrite every structure holding slots.
+    pub fn compact(&mut self) -> Vec<Slot> {
+        let mut remap = vec![Slot::MAX; self.slots.len()];
+        let mut new_slots = Vec::with_capacity(self.live);
+        for (old, slot) in self.slots.drain(..).enumerate() {
+            if let Some(value) = slot {
+                remap[old] = new_slots.len() as Slot;
+                new_slots.push(Some(value));
+            }
+        }
+        self.slots = new_slots;
+        remap
+    }
+}
+
+/// One posting: which slot contains the record, and at which token position
+/// the posted token sits (needed by the positional filter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Posting {
+    /// Store slot of the indexed record (or bundle).
+    pub slot: Slot,
+    /// 0-based position of the token within the record.
+    pub pos: u32,
+}
+
+/// Inverted index: token → postings.
+#[derive(Debug, Default)]
+pub struct InvertedIndex {
+    lists: FxHashMap<TokenId, Vec<Posting>>,
+    live_postings: usize,
+}
+
+impl InvertedIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a posting.
+    pub fn add(&mut self, token: TokenId, posting: Posting) {
+        self.lists.entry(token).or_default().push(posting);
+        self.live_postings += 1;
+    }
+
+    /// Scans the posting list of `token`, pruning dead postings in place.
+    /// `is_live` decides liveness by slot; `visit` sees each live posting.
+    pub fn scan_prune(
+        &mut self,
+        token: TokenId,
+        mut is_live: impl FnMut(Slot) -> bool,
+        mut visit: impl FnMut(Posting),
+    ) {
+        let Some(list) = self.lists.get_mut(&token) else {
+            return;
+        };
+        let before = list.len();
+        list.retain(|p| {
+            if is_live(p.slot) {
+                visit(*p);
+                true
+            } else {
+                false
+            }
+        });
+        self.live_postings -= before - list.len();
+        if list.is_empty() {
+            self.lists.remove(&token);
+        }
+    }
+
+    /// Number of postings currently held (including not-yet-pruned dead
+    /// ones; an upper bound on live postings).
+    pub fn postings(&self) -> usize {
+        self.live_postings
+    }
+
+    /// Number of distinct tokens with a posting list.
+    pub fn tokens(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Drops dead postings everywhere and rewrites slots through `remap`
+    /// (from [`RecordStore::compact`]).
+    pub fn apply_remap(&mut self, remap: &[Slot]) {
+        let mut live = 0;
+        self.lists.retain(|_, list| {
+            list.retain_mut(|p| {
+                let new = remap[p.slot as usize];
+                if new == Slot::MAX {
+                    false
+                } else {
+                    p.slot = new;
+                    true
+                }
+            });
+            live += list.len();
+            !list.is_empty()
+        });
+        self.live_postings = live;
+    }
+}
+
+/// Stamp-based "first visit this probe?" filter over slots — O(1) dedup
+/// without clearing a set between probes.
+#[derive(Debug, Default)]
+pub struct SeenFilter {
+    stamps: Vec<u32>,
+    epoch: u32,
+}
+
+impl SeenFilter {
+    /// An empty filter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a new probe; all slots become unseen.
+    pub fn next_epoch(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Wrapped: old stamps could alias. Reset storage (rare: every
+            // 2^32 probes).
+            self.stamps.iter_mut().for_each(|s| *s = u32::MAX);
+            self.epoch = 1;
+        }
+    }
+
+    /// True exactly on the first visit of `slot` in the current epoch.
+    #[inline]
+    pub fn first_visit(&mut self, slot: Slot) -> bool {
+        let idx = slot as usize;
+        if idx >= self.stamps.len() {
+            self.stamps.resize(idx + 1, self.epoch.wrapping_sub(1));
+        }
+        if self.stamps[idx] == self.epoch {
+            false
+        } else {
+            self.stamps[idx] = self.epoch;
+            true
+        }
+    }
+
+    /// Clears the filter after a store compaction (slot meanings changed).
+    pub fn reset(&mut self) {
+        self.stamps.clear();
+        self.epoch = 0;
+    }
+}
+
+/// When should an index structure compact? Once the dead fraction exceeds
+/// half and enough garbage has accumulated to be worth the rebuild.
+#[inline]
+pub fn should_compact(live: usize, dead: usize) -> bool {
+    dead > 1024 && dead > live
+}
+
+/// Drives a full compaction across the three structures the indexed joiners
+/// share. Returns the remap so callers can rewrite any extra slot holders.
+pub fn compact_all<T>(
+    store: &mut SlotStore<T>,
+    index: &mut InvertedIndex,
+    queue: &mut EvictionQueue<Slot>,
+    seen: &mut SeenFilter,
+) -> Vec<Slot> {
+    let remap = store.compact();
+    index.apply_remap(&remap);
+    queue_apply_remap(queue, &remap);
+    seen.reset();
+    remap
+}
+
+fn queue_apply_remap(queue: &mut EvictionQueue<Slot>, remap: &[Slot]) {
+    // The eviction queue only contains live slots (eviction is the only
+    // source of tombstones and removes the entry as it kills the slot), so
+    // every remap lookup must succeed.
+    queue.for_each_payload_mut(|slot| {
+        let new = remap[*slot as usize];
+        debug_assert_ne!(new, Slot::MAX, "eviction queue held a dead slot");
+        *slot = new;
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssj_text::RecordId;
+
+    fn rec(id: u64, toks: &[u32]) -> Record {
+        Record::from_sorted(
+            RecordId(id),
+            id,
+            toks.iter().copied().map(TokenId).collect(),
+        )
+    }
+
+    #[test]
+    fn store_insert_get_remove() {
+        let mut s = RecordStore::new();
+        let a = s.insert(rec(1, &[1, 2]));
+        let b = s.insert(rec(2, &[3]));
+        assert_eq!(s.live(), 2);
+        assert_eq!(s.get(a).unwrap().id(), RecordId(1));
+        assert_eq!(s.remove(a).unwrap().id(), RecordId(1));
+        assert!(s.get(a).is_none());
+        assert_eq!(s.live(), 1);
+        assert_eq!(s.dead(), 1);
+        assert!(s.get(b).is_some());
+        // Double remove is a no-op.
+        assert!(s.remove(a).is_none());
+        assert_eq!(s.live(), 1);
+    }
+
+    #[test]
+    fn store_compact_remaps() {
+        let mut s = RecordStore::new();
+        let a = s.insert(rec(1, &[1]));
+        let b = s.insert(rec(2, &[2]));
+        let c = s.insert(rec(3, &[3]));
+        s.remove(b);
+        let remap = s.compact();
+        assert_eq!(remap[a as usize], 0);
+        assert_eq!(remap[b as usize], Slot::MAX);
+        assert_eq!(remap[c as usize], 1);
+        assert_eq!(s.get(0).unwrap().id(), RecordId(1));
+        assert_eq!(s.get(1).unwrap().id(), RecordId(3));
+        assert_eq!(s.dead(), 0);
+    }
+
+    #[test]
+    fn index_scan_prunes_dead() {
+        let mut idx = InvertedIndex::new();
+        let t = TokenId(7);
+        idx.add(t, Posting { slot: 0, pos: 0 });
+        idx.add(t, Posting { slot: 1, pos: 2 });
+        idx.add(t, Posting { slot: 2, pos: 1 });
+        let mut seen = Vec::new();
+        idx.scan_prune(t, |slot| slot != 1, |p| seen.push(p.slot));
+        assert_eq!(seen, vec![0, 2]);
+        assert_eq!(idx.postings(), 2);
+        // Second scan no longer sees slot 1.
+        let mut seen2 = Vec::new();
+        idx.scan_prune(t, |_| true, |p| seen2.push(p.slot));
+        assert_eq!(seen2, vec![0, 2]);
+    }
+
+    #[test]
+    fn index_empty_list_removed() {
+        let mut idx = InvertedIndex::new();
+        idx.add(TokenId(1), Posting { slot: 0, pos: 0 });
+        idx.scan_prune(TokenId(1), |_| false, |_| panic!("nothing live"));
+        assert_eq!(idx.tokens(), 0);
+        assert_eq!(idx.postings(), 0);
+    }
+
+    #[test]
+    fn index_remap() {
+        let mut idx = InvertedIndex::new();
+        idx.add(TokenId(1), Posting { slot: 0, pos: 0 });
+        idx.add(TokenId(1), Posting { slot: 1, pos: 0 });
+        idx.add(TokenId(2), Posting { slot: 1, pos: 1 });
+        // slot 0 dies, slot 1 becomes 0.
+        idx.apply_remap(&[Slot::MAX, 0]);
+        assert_eq!(idx.postings(), 2);
+        let mut seen = Vec::new();
+        idx.scan_prune(TokenId(1), |_| true, |p| seen.push(p.slot));
+        assert_eq!(seen, vec![0]);
+    }
+
+    #[test]
+    fn seen_filter_dedups_within_epoch() {
+        let mut f = SeenFilter::new();
+        f.next_epoch();
+        assert!(f.first_visit(3));
+        assert!(!f.first_visit(3));
+        assert!(f.first_visit(0));
+        f.next_epoch();
+        assert!(f.first_visit(3));
+    }
+
+    #[test]
+    fn seen_filter_grows() {
+        let mut f = SeenFilter::new();
+        f.next_epoch();
+        assert!(f.first_visit(1000));
+        assert!(!f.first_visit(1000));
+    }
+
+    #[test]
+    fn compact_all_coordinates() {
+        let mut store = RecordStore::new();
+        let mut index = InvertedIndex::new();
+        let mut queue = EvictionQueue::new();
+        let mut seen = SeenFilter::new();
+        let a = store.insert(rec(1, &[1]));
+        let b = store.insert(rec(2, &[1]));
+        index.add(TokenId(1), Posting { slot: a, pos: 0 });
+        index.add(TokenId(1), Posting { slot: b, pos: 0 });
+        queue.push(2, 2, b);
+        store.remove(a); // evicted; note queue no longer holds it
+        let remap = compact_all(&mut store, &mut index, &mut queue, &mut seen);
+        assert_eq!(remap[b as usize], 0);
+        assert_eq!(store.live(), 1);
+        assert_eq!(index.postings(), 1);
+        let mut slots = Vec::new();
+        index.scan_prune(TokenId(1), |_| true, |p| slots.push(p.slot));
+        assert_eq!(slots, vec![0]);
+    }
+
+    #[test]
+    fn should_compact_thresholds() {
+        assert!(!should_compact(10, 5));
+        assert!(!should_compact(10, 1000)); // not enough absolute garbage
+        assert!(should_compact(1000, 1500));
+    }
+}

@@ -1,0 +1,654 @@
+//! The bundle-based joiner: the paper's local join contribution.
+//!
+//! Streams are full of near-duplicates (reposted articles, re-issued
+//! queries). The bundle joiner exploits them by grouping arriving records
+//! into *bundles* on the fly:
+//!
+//! * a bundle holds a **representative** token set (its founding record)
+//!   and **members** stored as tiny token deltas `(add, del)` against the
+//!   representative;
+//! * the inverted index posts **bundles**, not records — a near-duplicate
+//!   member adds few or no new postings, so candidate generation touches
+//!   far fewer posting entries (reduced *filtering cost*);
+//! * a probe is verified against a whole candidate bundle at once (**batch
+//!   verification**): the expensive merge `|r ∩ rep|` is computed once and
+//!   each member's overlap is derived from its deltas:
+//!   `|r ∩ m| = |r ∩ rep| − |r ∩ del_m| + |r ∩ add_m|`, which holds exactly
+//!   because `del_m ⊆ rep` and `add_m ∩ rep = ∅`.
+//!
+//! Grouping is *best effort* and never affects correctness: every candidate
+//! member is verified with the exact acceptance predicate, and the bundle
+//! posting set is the union of its members' prefix tokens, so the prefix
+//! filter stays complete.
+
+use super::{JoinConfig, MatchPair, StreamJoiner};
+use crate::index::{should_compact, InvertedIndex, Posting, SeenFilter, Slot, SlotStore};
+use crate::sim::Threshold;
+use crate::stats::JoinStats;
+use crate::verify;
+use crate::window::EvictionQueue;
+use ssj_text::{Record, RecordId, TokenId};
+
+/// Tuning knobs for the bundle joiner.
+#[derive(Debug, Clone, Copy)]
+pub struct BundleConfig {
+    /// Join threshold and window.
+    pub join: JoinConfig,
+    /// Minimum similarity to the representative required to absorb a record
+    /// into an existing bundle. Higher values give tighter bundles (smaller
+    /// deltas) but fewer absorptions. Values below the join threshold are
+    /// allowed — grouping is best-effort and never affects result
+    /// correctness — but absorption candidates are only discovered through
+    /// the join-threshold prefix index, so very low values mostly loosen
+    /// delta sizes rather than find more bundles.
+    pub bundle_tau: f64,
+    /// Maximum members per bundle (bounds batch-verification cost).
+    pub max_members: usize,
+    /// Maximum `(|add| + |del|) / |rep|` for an absorbed member (bounds
+    /// delta-verification cost).
+    pub max_delta_frac: f64,
+}
+
+impl BundleConfig {
+    /// Defaults from the evaluation: `bundle_tau = max(τ, 0.8)`,
+    /// 64 members, deltas up to 25% of the representative.
+    pub fn new(join: JoinConfig) -> Self {
+        Self {
+            join,
+            bundle_tau: join.threshold.tau().max(0.8),
+            max_members: 64,
+            max_delta_frac: 0.25,
+        }
+    }
+
+    /// Overrides the absorption threshold.
+    pub fn with_bundle_tau(mut self, bundle_tau: f64) -> Self {
+        self.bundle_tau = bundle_tau;
+        self
+    }
+
+    /// Overrides the member cap.
+    pub fn with_max_members(mut self, max_members: usize) -> Self {
+        self.max_members = max_members;
+        self
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.bundle_tau > 0.0 && self.bundle_tau <= 1.0,
+            "bundle_tau must lie in (0, 1]"
+        );
+        assert!(self.max_members >= 1, "bundles need at least one member");
+        assert!(
+            (0.0..=1.0).contains(&self.max_delta_frac),
+            "max_delta_frac must lie in [0, 1]"
+        );
+    }
+}
+
+/// A bundle member: identity plus its token delta against the
+/// representative.
+#[derive(Debug)]
+struct Member {
+    id: RecordId,
+    len: u32,
+    /// Tokens in the member but not in the representative (sorted).
+    add: Box<[TokenId]>,
+    /// Tokens in the representative but not in the member (sorted).
+    del: Box<[TokenId]>,
+    alive: bool,
+}
+
+/// A group of near-duplicate records sharing one representative.
+#[derive(Debug)]
+struct Bundle {
+    /// The founding record; its token set is the representative.
+    rep: Record,
+    members: Vec<Member>,
+    alive: u32,
+    /// Length bounds over alive members (for the bundle-level length
+    /// filter).
+    min_len: u32,
+    max_len: u32,
+    /// Tokens posted to the inverted index for this bundle (sorted). The
+    /// union of members' prefix tokens — the completeness invariant.
+    posted: Vec<TokenId>,
+}
+
+impl Bundle {
+    fn recompute_len_bounds(&mut self) {
+        let mut min_len = u32::MAX;
+        let mut max_len = 0;
+        for m in self.members.iter().filter(|m| m.alive) {
+            min_len = min_len.min(m.len);
+            max_len = max_len.max(m.len);
+        }
+        self.min_len = min_len;
+        self.max_len = max_len;
+    }
+
+    /// Largest `|add|` among alive members — bounds how far a member's
+    /// overlap can exceed the representative's.
+    fn max_add(&self) -> usize {
+        self.members
+            .iter()
+            .filter(|m| m.alive)
+            .map(|m| m.add.len())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// The bundle-based streaming joiner.
+#[derive(Debug)]
+pub struct BundleJoiner {
+    cfg: BundleConfig,
+    bundle_threshold: Threshold,
+    store: SlotStore<Bundle>,
+    index: InvertedIndex,
+    /// Eviction entries: (bundle slot, member index).
+    queue: EvictionQueue<(Slot, u32)>,
+    seen: SeenFilter,
+    stats: JoinStats,
+    live_members: usize,
+    candidates: Vec<Slot>,
+}
+
+impl BundleJoiner {
+    /// A bundle joiner with the given configuration.
+    pub fn new(cfg: BundleConfig) -> Self {
+        cfg.validate();
+        let t = cfg.join.threshold;
+        Self {
+            cfg,
+            bundle_threshold: Threshold::new(t.sim_fn(), cfg.bundle_tau),
+            store: SlotStore::new(),
+            index: InvertedIndex::new(),
+            queue: EvictionQueue::new(),
+            seen: SeenFilter::new(),
+            stats: JoinStats::new(),
+            live_members: 0,
+            candidates: Vec::new(),
+        }
+    }
+
+    /// Convenience: defaults on top of a join config.
+    pub fn with_defaults(join: JoinConfig) -> Self {
+        Self::new(BundleConfig::new(join))
+    }
+
+    /// Live bundle count (for reporting index compression).
+    pub fn bundles(&self) -> usize {
+        self.store.live()
+    }
+
+    fn evict(&mut self, probe_id: u64, probe_ts: u64) {
+        let store = &mut self.store;
+        let stats = &mut self.stats;
+        let live_members = &mut self.live_members;
+        self.queue.drain_expired(
+            self.cfg.join.window,
+            probe_id,
+            probe_ts,
+            |(slot, member_idx)| {
+                let bundle = store.get_mut(slot).expect("queued member in live bundle");
+                let m = &mut bundle.members[member_idx as usize];
+                debug_assert!(m.alive, "member evicted twice");
+                m.alive = false;
+                bundle.alive -= 1;
+                *live_members -= 1;
+                stats.evicted += 1;
+                if bundle.alive == 0 {
+                    store.remove(slot);
+                } else {
+                    bundle.recompute_len_bounds();
+                }
+            },
+        );
+        if should_compact(store.live(), store.dead()) {
+            let remap = store.compact();
+            self.index.apply_remap(&remap);
+            self.queue
+                .for_each_payload_mut(|(slot, _)| *slot = remap[*slot as usize]);
+            self.seen.reset();
+        }
+    }
+
+    /// Prefix-scan candidate bundles into `self.candidates` (deduplicated).
+    fn collect_candidates(&mut self, record: &Record) {
+        self.seen.next_epoch();
+        self.candidates.clear();
+        let t = self.cfg.join.threshold;
+        let store = &self.store;
+        let seen = &mut self.seen;
+        let candidates = &mut self.candidates;
+        let stats = &mut self.stats;
+        for &tok in record.prefix(t.prefix_len(record.len())) {
+            self.index.scan_prune(
+                tok,
+                |slot| store.get(slot).is_some(),
+                |p| {
+                    stats.posting_hits += 1;
+                    if seen.first_visit(p.slot) {
+                        candidates.push(p.slot);
+                    }
+                },
+            );
+        }
+    }
+
+    /// Batch-verifies `record` against candidate bundles, optionally
+    /// emitting matches, and returns the best absorption target
+    /// `(slot, similarity-to-rep)` if one qualifies.
+    fn probe_internal(
+        &mut self,
+        record: &Record,
+        mut out: Option<&mut Vec<MatchPair>>,
+        want_group: bool,
+    ) -> Option<(Slot, f64)> {
+        let t = self.cfg.join.threshold;
+        let bt = self.bundle_threshold;
+        let lr = record.len();
+        let lo = t.min_len(lr);
+        let hi = t.max_len(lr);
+
+        self.collect_candidates(record);
+        let mut best: Option<(Slot, f64)> = None;
+
+        for i in 0..self.candidates.len() {
+            let slot = self.candidates[i];
+            let bundle = self.store.get(slot).expect("candidates are live");
+            self.stats.candidates += 1;
+
+            // Bundle-level length filter for join results.
+            let members_in_range = bundle.alive > 0
+                && (bundle.max_len as usize) >= lo
+                && hi.is_none_or(|h| (bundle.min_len as usize) <= h);
+            // Is this bundle even a possible absorption target?
+            let lrep = bundle.rep.len();
+            let groupable = want_group
+                && bundle.members.len() < self.cfg.max_members
+                && bt.length_compatible(lr, lrep);
+            if !members_in_range && !groupable {
+                self.stats.length_filtered += 1;
+                continue;
+            }
+            if out.is_none() && !groupable {
+                // Insert-only scan: this bundle can't absorb the record and
+                // no matches are being collected — nothing to verify.
+                continue;
+            }
+
+            // Shared verification: one merge against the representative.
+            // Early termination is valid against the loosest requirement
+            // anything downstream could have: for member emission, the
+            // smallest member min-overlap discounted by how much a member's
+            // `add` tokens could raise its overlap above the
+            // representative's; for the grouping decision, the absorption
+            // threshold's own min-overlap (an overlap below it cannot reach
+            // `bundle_tau` either). `overlap_with_min` returns the *exact*
+            // overlap whenever it returns at all, so both uses stay exact.
+            let member_req = if members_in_range && out.is_some() {
+                bundle
+                    .members
+                    .iter()
+                    .filter(|m| m.alive && t.length_compatible(lr, m.len as usize))
+                    .map(|m| t.min_overlap(lr, m.len as usize))
+                    .min()
+                    .unwrap_or(usize::MAX)
+                    .saturating_sub(bundle.max_add())
+            } else {
+                usize::MAX
+            };
+            let group_req = if groupable {
+                bt.min_overlap(lr, lrep)
+            } else {
+                usize::MAX
+            };
+            let min_required = member_req.min(group_req);
+            if min_required == usize::MAX {
+                // The bundle's length bounds straddle the filter interval
+                // without any member actually inside it, and grouping does
+                // not apply: nothing to verify.
+                continue;
+            }
+            self.stats.verifications += 1;
+            self.stats.verify_steps += (lr + lrep) as u64;
+            let Some(o_rep) =
+                verify::overlap_with_min(record.tokens(), bundle.rep.tokens(), min_required)
+            else {
+                continue;
+            };
+
+            if groupable {
+                let sim_rep = t.similarity(o_rep, lr, lrep);
+                if sim_rep >= self.cfg.bundle_tau
+                    && best.is_none_or(|(_, s)| sim_rep > s)
+                {
+                    best = Some((slot, sim_rep));
+                }
+            }
+
+            if !members_in_range {
+                continue;
+            }
+            if let Some(out) = out.as_deref_mut() {
+                for m in bundle.members.iter().filter(|m| m.alive) {
+                    let lm = m.len as usize;
+                    if !t.length_compatible(lr, lm) {
+                        continue;
+                    }
+                    self.stats.delta_verifications += 1;
+                    let o_m = o_rep + verify::intersect_small(&m.add, record.tokens())
+                        - verify::intersect_small(&m.del, record.tokens());
+                    debug_assert!(o_m <= lr.min(lm));
+                    if t.matches(o_m, lr, lm) {
+                        self.stats.results += 1;
+                        out.push(MatchPair {
+                            earlier: m.id,
+                            later: record.id(),
+                            similarity: t.similarity(o_m, lr, lm),
+                        });
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Inserts `record`, absorbing it into `target` when the delta fits,
+    /// founding a new bundle otherwise.
+    fn insert_with(&mut self, record: &Record, target: Option<(Slot, f64)>) {
+        let t = self.cfg.join.threshold;
+        if let Some((slot, _)) = target {
+            if let Some(bundle) = self.store.get_mut(slot) {
+                let max_delta =
+                    ((self.cfg.max_delta_frac * bundle.rep.len() as f64).floor() as usize).max(1);
+                let (add, del) = token_deltas(record.tokens(), bundle.rep.tokens());
+                if bundle.members.len() < self.cfg.max_members
+                    && add.len() + del.len() <= max_delta
+                {
+                    // Post any prefix tokens this member brings that the
+                    // bundle has not posted yet (keeps the union invariant).
+                    let prefix = record.prefix(t.prefix_len(record.len()));
+                    for &tok in prefix {
+                        if let Err(ins) = bundle.posted.binary_search(&tok) {
+                            bundle.posted.insert(ins, tok);
+                            self.index.add(tok, Posting { slot, pos: 0 });
+                            self.stats.postings_created += 1;
+                        }
+                    }
+                    let member_idx = bundle.members.len() as u32;
+                    bundle.members.push(Member {
+                        id: record.id(),
+                        len: record.len() as u32,
+                        add: add.into(),
+                        del: del.into(),
+                        alive: true,
+                    });
+                    bundle.alive += 1;
+                    bundle.min_len = bundle.min_len.min(record.len() as u32);
+                    bundle.max_len = bundle.max_len.max(record.len() as u32);
+                    self.queue
+                        .push(record.id().0, record.timestamp(), (slot, member_idx));
+                    self.live_members += 1;
+                    self.stats.bundle_absorbed += 1;
+                    self.stats.indexed += 1;
+                    return;
+                }
+            }
+        }
+
+        // Found a new bundle.
+        let prefix_len = t.prefix_len(record.len());
+        let posted: Vec<TokenId> = record.prefix(prefix_len).to_vec();
+        let founder = Member {
+            id: record.id(),
+            len: record.len() as u32,
+            add: Box::default(),
+            del: Box::default(),
+            alive: true,
+        };
+        let slot = self.store.insert(Bundle {
+            rep: record.clone(),
+            members: vec![founder],
+            alive: 1,
+            min_len: record.len() as u32,
+            max_len: record.len() as u32,
+            posted: posted.clone(),
+        });
+        for &tok in &posted {
+            self.index.add(tok, Posting { slot, pos: 0 });
+            self.stats.postings_created += 1;
+        }
+        self.queue.push(record.id().0, record.timestamp(), (slot, 0));
+        self.live_members += 1;
+        self.stats.bundles_created += 1;
+        self.stats.indexed += 1;
+    }
+}
+
+/// `(a \ b, b \ a)` of two sorted token slices.
+fn token_deltas(a: &[TokenId], b: &[TokenId]) -> (Vec<TokenId>, Vec<TokenId>) {
+    let mut add = Vec::new();
+    let mut del = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Less => {
+                add.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                del.push(b[j]);
+                j += 1;
+            }
+        }
+    }
+    add.extend_from_slice(&a[i..]);
+    del.extend_from_slice(&b[j..]);
+    (add, del)
+}
+
+impl StreamJoiner for BundleJoiner {
+    fn name(&self) -> &'static str {
+        "bundle"
+    }
+
+    fn probe(&mut self, record: &Record, out: &mut Vec<MatchPair>) {
+        self.evict(record.id().0, record.timestamp());
+        self.probe_internal(record, Some(out), false);
+        self.stats.probed += 1;
+    }
+
+    fn insert(&mut self, record: &Record) {
+        self.evict(record.id().0, record.timestamp());
+        let target = self.probe_internal(record, None, true);
+        self.insert_with(record, target);
+    }
+
+    fn process(&mut self, record: &Record, out: &mut Vec<MatchPair>) {
+        // Single scan serving both the join probe and the grouping decision.
+        self.evict(record.id().0, record.timestamp());
+        let target = self.probe_internal(record, Some(out), true);
+        self.stats.probed += 1;
+        self.insert_with(record, target);
+    }
+
+    fn stats(&self) -> &JoinStats {
+        &self.stats
+    }
+
+    fn stored(&self) -> usize {
+        self.live_members
+    }
+
+    fn postings(&self) -> usize {
+        self.index.postings()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::join::{run_stream, NaiveJoiner};
+    use crate::window::Window;
+    use ssj_text::RecordId;
+
+    fn rec(id: u64, toks: &[u32]) -> Record {
+        Record::from_sorted(RecordId(id), id, toks.iter().copied().map(TokenId).collect())
+    }
+
+    fn assert_same_as_naive(cfg: BundleConfig, records: &[Record]) {
+        let mut naive = NaiveJoiner::new(cfg.join);
+        let mut bj = BundleJoiner::new(cfg);
+        let mut expect: Vec<_> = run_stream(&mut naive, records)
+            .iter()
+            .map(|m| m.key())
+            .collect();
+        let mut got: Vec<_> = run_stream(&mut bj, records).iter().map(|m| m.key()).collect();
+        expect.sort_unstable();
+        got.sort_unstable();
+        assert_eq!(expect, got);
+    }
+
+    #[test]
+    fn token_deltas_basic() {
+        let a: Vec<TokenId> = [1u32, 3, 5].iter().map(|&x| TokenId(x)).collect();
+        let b: Vec<TokenId> = [1u32, 4, 5, 6].iter().map(|&x| TokenId(x)).collect();
+        let (add, del) = token_deltas(&a, &b);
+        assert_eq!(add, vec![TokenId(3)]);
+        assert_eq!(del, vec![TokenId(4), TokenId(6)]);
+    }
+
+    #[test]
+    fn near_duplicates_are_absorbed() {
+        let cfg = BundleConfig::new(JoinConfig::jaccard(0.6));
+        let mut j = BundleJoiner::new(cfg);
+        let mut out = Vec::new();
+        j.process(&rec(0, &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]), &mut out);
+        j.process(&rec(1, &[1, 2, 3, 4, 5, 6, 7, 8, 9, 11]), &mut out);
+        j.process(&rec(2, &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]), &mut out);
+        assert_eq!(j.bundles(), 1, "all three should share one bundle");
+        assert_eq!(j.stats().bundle_absorbed, 2);
+        assert_eq!(out.len(), 3); // all pairs match at 0.6
+    }
+
+    #[test]
+    fn dissimilar_records_found_new_bundles() {
+        let cfg = BundleConfig::new(JoinConfig::jaccard(0.8));
+        let mut j = BundleJoiner::new(cfg);
+        let mut out = Vec::new();
+        j.process(&rec(0, &[1, 2, 3]), &mut out);
+        j.process(&rec(1, &[10, 20, 30]), &mut out);
+        assert_eq!(j.bundles(), 2);
+        assert_eq!(j.stats().bundles_created, 2);
+    }
+
+    #[test]
+    fn agrees_with_naive_mixed_stream() {
+        let mut records = Vec::new();
+        for i in 0..60u64 {
+            let fam = (i % 5) as u32 * 50;
+            let variant = (i % 3) as u32;
+            records.push(rec(
+                i,
+                &[fam, fam + 1, fam + 2, fam + 3, fam + 4, fam + 5 + variant],
+            ));
+        }
+        assert_same_as_naive(BundleConfig::new(JoinConfig::jaccard(0.7)), &records);
+    }
+
+    #[test]
+    fn agrees_with_naive_windowed() {
+        let records: Vec<Record> = (0..40)
+            .map(|i| {
+                let fam = (i % 4) as u32 * 20;
+                rec(i, &[fam, fam + 1, fam + 2, fam + 3, 1000 + (i % 2) as u32])
+            })
+            .collect();
+        let cfg = BundleConfig::new(JoinConfig {
+            threshold: Threshold::jaccard(0.6),
+            window: Window::Count(9),
+        });
+        assert_same_as_naive(cfg, &records);
+    }
+
+    #[test]
+    fn member_cap_respected() {
+        let cfg = BundleConfig::new(JoinConfig::jaccard(0.5)).with_max_members(2);
+        let mut j = BundleJoiner::new(cfg);
+        let mut out = Vec::new();
+        for i in 0..5u64 {
+            j.process(&rec(i, &[1, 2, 3, 4, 5]), &mut out);
+        }
+        assert!(j.bundles() >= 2, "cap forces extra bundles");
+        for slotted in 0..j.store.capacity_slots() as u32 {
+            if let Some(b) = j.store.get(slotted) {
+                assert!(b.members.len() <= 2);
+            }
+        }
+        // Results unaffected: 5 identical records → C(5,2)=10 pairs.
+        assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    fn eviction_kills_members_and_bundles() {
+        let cfg = BundleConfig::new(JoinConfig {
+            threshold: Threshold::jaccard(0.9),
+            window: Window::Count(2),
+        });
+        let mut j = BundleJoiner::new(cfg);
+        let mut out = Vec::new();
+        for i in 0..10u64 {
+            j.process(&rec(i, &[1, 2, 3, 4]), &mut out);
+        }
+        assert!(j.stored() <= 3);
+        assert!(j.stats().evicted >= 7);
+        let last = out.iter().filter(|m| m.later == RecordId(9)).count();
+        assert_eq!(last, 2);
+    }
+
+    #[test]
+    fn delta_verification_matches_exact_overlap() {
+        // Probe similar to a member but less similar to the representative.
+        let cfg = BundleConfig::new(JoinConfig::jaccard(0.6)).with_bundle_tau(0.6);
+        let mut j = BundleJoiner::new(cfg);
+        let mut out = Vec::new();
+        j.process(&rec(0, &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]), &mut out);
+        // Member differs from rep in two tokens.
+        j.process(&rec(1, &[1, 2, 3, 4, 5, 6, 7, 8, 11, 12]), &mut out);
+        // Probe equals the member exactly.
+        j.process(&rec(2, &[1, 2, 3, 4, 5, 6, 7, 8, 11, 12]), &mut out);
+        let pair_12 = out
+            .iter()
+            .find(|m| m.key() == (1, 2))
+            .expect("member match found");
+        assert!((pair_12.similarity - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "bundle_tau")]
+    fn config_validates_bundle_tau() {
+        let cfg = BundleConfig::new(JoinConfig::jaccard(0.9)).with_bundle_tau(0.0);
+        let _ = BundleJoiner::new(cfg);
+    }
+
+    #[test]
+    fn loose_bundle_tau_below_join_tau_stays_exact() {
+        // Grouping threshold below the join threshold forms looser bundles
+        // but must not change the result set.
+        let mut records = Vec::new();
+        for i in 0..80u64 {
+            let fam = (i % 6) as u32 * 40;
+            let variant = (i % 4) as u32;
+            records.push(rec(i, &[fam, fam + 1, fam + 2, fam + 3, fam + 8 + variant]));
+        }
+        let cfg = BundleConfig::new(JoinConfig::jaccard(0.8)).with_bundle_tau(0.5);
+        assert_same_as_naive(cfg, &records);
+    }
+}

@@ -1,0 +1,149 @@
+//! Streaming local join algorithms.
+//!
+//! Every joiner implements [`StreamJoiner`]: probe the index with an
+//! incoming record, then (for self-joins) insert it. The four
+//! implementations trade filtering power for index maintenance cost:
+//!
+//! | joiner | candidate generation | extra filters | verification |
+//! |---|---|---|---|
+//! | [`NaiveJoiner`] | none (scan) | — | full merge |
+//! | [`AllPairsJoiner`] | prefix index | length | early-terminated merge |
+//! | [`PpJoinJoiner`] | prefix index | length + positional | resumed merge |
+//! | [`BundleJoiner`] | bundle prefix index | bundle length bounds | shared + per-member delta |
+//!
+//! All four apply the identical acceptance predicate
+//! [`Threshold::matches`](crate::sim::Threshold::matches), so their result
+//! sets are interchangeable — a property the test suite enforces.
+
+mod allpairs;
+pub mod bistream;
+mod bundle;
+mod naive;
+mod ppjoin;
+
+pub use allpairs::AllPairsJoiner;
+pub use bistream::{merge_streams, run_bistream, BiStreamJoiner, Side};
+pub use bundle::{BundleConfig, BundleJoiner};
+pub use naive::NaiveJoiner;
+pub use ppjoin::PpJoinJoiner;
+
+use crate::sim::Threshold;
+use crate::stats::JoinStats;
+use crate::window::Window;
+use ssj_text::{Record, RecordId};
+
+/// One join result: an (earlier, later) record pair and its similarity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatchPair {
+    /// The record that arrived first (it was in the index).
+    pub earlier: RecordId,
+    /// The record that arrived later (it was the probe).
+    pub later: RecordId,
+    /// Exact similarity under the configured measure.
+    pub similarity: f64,
+}
+
+impl MatchPair {
+    /// Canonical key for set comparisons in tests and dedup.
+    pub fn key(&self) -> (u64, u64) {
+        (self.earlier.0, self.later.0)
+    }
+}
+
+/// Threshold + window: the two knobs every joiner shares.
+#[derive(Debug, Clone, Copy)]
+pub struct JoinConfig {
+    /// Similarity function and threshold τ.
+    pub threshold: Threshold,
+    /// Sliding-window policy.
+    pub window: Window,
+}
+
+impl JoinConfig {
+    /// Unbounded-window Jaccard config (the common benchmark setting).
+    pub fn jaccard(tau: f64) -> Self {
+        Self {
+            threshold: Threshold::jaccard(tau),
+            window: Window::Unbounded,
+        }
+    }
+
+    /// Replaces the window policy.
+    pub fn with_window(mut self, window: Window) -> Self {
+        self.window = window;
+        self
+    }
+}
+
+/// A streaming set-similarity self-join operator.
+///
+/// In the distributed setting a joiner may receive *probe-only* records
+/// (records indexed elsewhere) and *insert-only* records (records probing
+/// elsewhere), which is why the two operations are exposed separately;
+/// [`process`](Self::process) is the single-node probe-then-insert step.
+pub trait StreamJoiner {
+    /// Short algorithm name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Finds all indexed records matching `record` (without inserting it)
+    /// and appends them to `out`. Also advances the eviction watermark.
+    fn probe(&mut self, record: &Record, out: &mut Vec<MatchPair>);
+
+    /// Adds `record` to the index.
+    fn insert(&mut self, record: &Record);
+
+    /// Probe, then insert: the self-join step for one arrival.
+    fn process(&mut self, record: &Record, out: &mut Vec<MatchPair>) {
+        self.probe(record, out);
+        self.insert(record);
+    }
+
+    /// Execution counters.
+    fn stats(&self) -> &JoinStats;
+
+    /// Live records currently indexed.
+    fn stored(&self) -> usize;
+
+    /// Current inverted-index size in postings (0 for the naive joiner).
+    fn postings(&self) -> usize;
+}
+
+impl StreamJoiner for Box<dyn StreamJoiner + Send> {
+    fn name(&self) -> &'static str {
+        self.as_ref().name()
+    }
+
+    fn probe(&mut self, record: &Record, out: &mut Vec<MatchPair>) {
+        self.as_mut().probe(record, out)
+    }
+
+    fn insert(&mut self, record: &Record) {
+        self.as_mut().insert(record)
+    }
+
+    fn process(&mut self, record: &Record, out: &mut Vec<MatchPair>) {
+        self.as_mut().process(record, out)
+    }
+
+    fn stats(&self) -> &JoinStats {
+        self.as_ref().stats()
+    }
+
+    fn stored(&self) -> usize {
+        self.as_ref().stored()
+    }
+
+    fn postings(&self) -> usize {
+        self.as_ref().postings()
+    }
+}
+
+/// Runs a whole stream through a joiner, collecting every result.
+/// Convenience for tests and examples.
+pub fn run_stream<J: StreamJoiner + ?Sized>(joiner: &mut J, records: &[Record]) -> Vec<MatchPair> {
+    let mut out = Vec::new();
+    for r in records {
+        joiner.process(r, &mut out);
+    }
+    out
+}

@@ -1,0 +1,40 @@
+//! Core streaming set-similarity join algorithms.
+//!
+//! This crate contains everything a *single* joiner needs: similarity
+//! measures with exact filter bounds ([`sim`]), merge- and delta-based
+//! verification ([`verify`]), sliding windows ([`window`]), index machinery
+//! ([`index`]), and four streaming join algorithms ([`join`]) — the naive
+//! ground truth, the AllPairs and PPJoin baselines, and the bundle-based
+//! joiner with batch verification that is the paper's local contribution.
+//!
+//! ```
+//! use ssj_core::join::{BundleJoiner, JoinConfig, StreamJoiner};
+//! use ssj_text::{Record, RecordId, TokenId};
+//!
+//! let mut joiner = BundleJoiner::with_defaults(JoinConfig::jaccard(0.8));
+//! let mk = |id, toks: &[u32]| {
+//!     Record::from_sorted(RecordId(id), 0, toks.iter().map(|&t| TokenId(t)).collect())
+//! };
+//! let mut out = Vec::new();
+//! joiner.process(&mk(0, &[1, 2, 3, 4, 5]), &mut out);
+//! joiner.process(&mk(1, &[1, 2, 3, 4, 5]), &mut out);
+//! assert_eq!(out.len(), 1);
+//! assert_eq!(out[0].earlier, RecordId(0));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod index;
+pub mod join;
+pub mod sim;
+pub mod stats;
+pub mod verify;
+pub mod window;
+
+pub use join::{
+    AllPairsJoiner, BundleConfig, BundleJoiner, JoinConfig, MatchPair, NaiveJoiner, PpJoinJoiner,
+    StreamJoiner,
+};
+pub use sim::{SimFn, Threshold};
+pub use stats::JoinStats;
+pub use window::Window;

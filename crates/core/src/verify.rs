@@ -1,0 +1,258 @@
+//! Intersection-size computation: the verification stage of the join.
+//!
+//! Three flavours cover the joiners' needs:
+//!
+//! * [`overlap`] — plain sorted-merge, used by the naive joiner and tests;
+//! * [`overlap_with_min`] — merge with the classic *early termination*
+//!   bound: at every step, if the tokens remaining on either side cannot
+//!   lift the running overlap to the requirement, verification aborts;
+//! * [`overlap_from`] — resumes a merge after known prefix positions with an
+//!   already-accumulated overlap (PPJoin-style verification);
+//! * [`intersect_small`] — asymmetric intersection of a tiny sorted slice
+//!   against a large one (binary search per element), used by bundle batch
+//!   verification to apply per-member token deltas.
+
+use ssj_text::TokenId;
+
+/// Exact `|a ∩ b|` of two strictly ascending token slices.
+#[inline]
+pub fn overlap(a: &[TokenId], b: &[TokenId]) -> usize {
+    match overlap_from(a, b, 0, 0, 0, 0) {
+        Some(o) => o,
+        None => unreachable!("min_required = 0 never aborts"),
+    }
+}
+
+/// `|a ∩ b|` if it reaches `min_required`, else `None` (early termination).
+#[inline]
+pub fn overlap_with_min(a: &[TokenId], b: &[TokenId], min_required: usize) -> Option<usize> {
+    overlap_from(a, b, 0, 0, 0, min_required)
+}
+
+/// Resumes a merge of `a[start_a..]` with `b[start_b..]`, starting from an
+/// already-known overlap `acc`, early-terminating against `min_required`
+/// (`0` disables termination and yields the exact total).
+pub fn overlap_from(
+    a: &[TokenId],
+    b: &[TokenId],
+    start_a: usize,
+    start_b: usize,
+    acc: usize,
+    min_required: usize,
+) -> Option<usize> {
+    let mut i = start_a;
+    let mut j = start_b;
+    let mut o = acc;
+    // Upper bound on the final overlap; shrinks as we consume tokens
+    // without matching. Checked on every non-match step.
+    while i < a.len() && j < b.len() {
+        let remaining = (a.len() - i).min(b.len() - j);
+        if o + remaining < min_required {
+            return None;
+        }
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Equal => {
+                o += 1;
+                i += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+        }
+    }
+    if o >= min_required {
+        Some(o)
+    } else {
+        None
+    }
+}
+
+/// `|small ∩ big|` where `small` is expected to be a handful of tokens:
+/// binary-searches each element of `small` in `big`. `O(|small|·log|big|)`.
+#[inline]
+pub fn intersect_small(small: &[TokenId], big: &[TokenId]) -> usize {
+    if small.is_empty() || big.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut lo = 0usize;
+    for &t in small {
+        // `small` is sorted too, so the search window only moves right.
+        match big[lo..].binary_search(&t) {
+            Ok(pos) => {
+                count += 1;
+                lo += pos + 1;
+            }
+            Err(pos) => lo += pos,
+        }
+        if lo >= big.len() {
+            break;
+        }
+    }
+    count
+}
+
+/// Recursion cap for [`hamming_lower_bound`]: deeper probing gives tighter
+/// bounds at higher cost; 4 levels matches the PPJoin+ paper's sweet spot.
+const SUFFIX_FILTER_MAX_DEPTH: usize = 4;
+
+/// A lower bound on the Hamming distance `|x| + |y| − 2·|x ∩ y|` of two
+/// strictly ascending token slices — the PPJoin+ *suffix filter* primitive.
+///
+/// The sets are recursively split around the median token of `y`; the
+/// distance decomposes exactly across the split, and each side is bounded
+/// from below by its size difference. Recursion aborts early once the
+/// accumulated bound exceeds `hd_max` (the caller prunes in that case), so
+/// the typical cost is logarithmic rather than linear.
+pub fn hamming_lower_bound(x: &[TokenId], y: &[TokenId], hd_max: usize) -> usize {
+    hamming_lb_rec(x, y, hd_max as isize, 0) as usize
+}
+
+fn hamming_lb_rec(x: &[TokenId], y: &[TokenId], hd_max: isize, depth: usize) -> isize {
+    if depth >= SUFFIX_FILTER_MAX_DEPTH || x.is_empty() || y.is_empty() {
+        return (x.len() as isize - y.len() as isize).abs();
+    }
+    let mid = y.len() / 2;
+    let pivot = y[mid];
+    let (yl, yr) = (&y[..mid], &y[mid + 1..]);
+    let (xl, xr, shared) = match x.binary_search(&pivot) {
+        Ok(p) => (&x[..p], &x[p + 1..], true),
+        Err(p) => (&x[..p], &x[p..], false),
+    };
+    // The pivot itself contributes 0 if present in both, else 1.
+    let pivot_diff = isize::from(!shared);
+    let left_floor = (xl.len() as isize - yl.len() as isize).abs();
+    let right_floor = (xr.len() as isize - yr.len() as isize).abs();
+    if left_floor + right_floor + pivot_diff > hd_max {
+        return left_floor + right_floor + pivot_diff;
+    }
+    let left = hamming_lb_rec(xl, yl, hd_max - right_floor - pivot_diff, depth + 1);
+    if left + right_floor + pivot_diff > hd_max {
+        return left + right_floor + pivot_diff;
+    }
+    let right = hamming_lb_rec(xr, yr, hd_max - left - pivot_diff, depth + 1);
+    left + right + pivot_diff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn tid(xs: &[u32]) -> Vec<TokenId> {
+        xs.iter().copied().map(TokenId).collect()
+    }
+
+    #[test]
+    fn overlap_basic() {
+        assert_eq!(overlap(&tid(&[1, 3, 5]), &tid(&[2, 3, 5, 7])), 2);
+        assert_eq!(overlap(&tid(&[1, 2]), &tid(&[3, 4])), 0);
+        assert_eq!(overlap(&tid(&[]), &tid(&[1])), 0);
+        assert_eq!(overlap(&tid(&[1, 2, 3]), &tid(&[1, 2, 3])), 3);
+    }
+
+    #[test]
+    fn early_termination_triggers() {
+        // Overlap is 1 but 3 required: must abort.
+        assert_eq!(overlap_with_min(&tid(&[1, 9]), &tid(&[1, 2, 3]), 3), None);
+        // Exactly reaching the requirement succeeds.
+        assert_eq!(
+            overlap_with_min(&tid(&[1, 2, 3]), &tid(&[1, 2, 4]), 2),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn early_termination_zero_is_exact() {
+        assert_eq!(overlap_with_min(&tid(&[1, 5]), &tid(&[2, 6]), 0), Some(0));
+    }
+
+    #[test]
+    fn resume_from_positions() {
+        let a = tid(&[1, 2, 3, 4, 5]);
+        let b = tid(&[2, 3, 9]);
+        // Pretend the prefix scan already matched token 2 (a[1], b[0]).
+        let o = overlap_from(&a, &b, 2, 1, 1, 0).unwrap();
+        assert_eq!(o, 2); // token 3 found in the suffixes
+        assert_eq!(o, overlap(&a, &b));
+    }
+
+    #[test]
+    fn intersect_small_matches_merge() {
+        let small = tid(&[3, 7, 100]);
+        let big = tid(&[1, 2, 3, 5, 7, 9, 11]);
+        assert_eq!(intersect_small(&small, &big), 2);
+        assert_eq!(intersect_small(&tid(&[]), &big), 0);
+        assert_eq!(intersect_small(&small, &tid(&[])), 0);
+    }
+
+    fn sorted_set() -> impl Strategy<Value = Vec<TokenId>> {
+        proptest::collection::btree_set(0u32..500, 0..80)
+            .prop_map(|s| s.into_iter().map(TokenId).collect())
+    }
+
+    proptest! {
+        #[test]
+        fn overlap_agrees_with_naive(a in sorted_set(), b in sorted_set()) {
+            let naive = a.iter().filter(|t| b.contains(t)).count();
+            prop_assert_eq!(overlap(&a, &b), naive);
+            prop_assert_eq!(intersect_small(&a, &b), naive);
+            prop_assert_eq!(intersect_small(&b, &a), naive);
+        }
+
+        #[test]
+        fn early_termination_is_consistent(
+            a in sorted_set(), b in sorted_set(), req in 0usize..50
+        ) {
+            let exact = overlap(&a, &b);
+            match overlap_with_min(&a, &b, req) {
+                Some(o) => {
+                    prop_assert_eq!(o, exact);
+                    prop_assert!(o >= req);
+                }
+                None => prop_assert!(exact < req),
+            }
+        }
+
+        #[test]
+        fn resume_equals_full_merge(a in sorted_set(), b in sorted_set()) {
+            // Resuming from the very start with acc=0 must equal `overlap`.
+            let exact = overlap(&a, &b);
+            prop_assert_eq!(overlap_from(&a, &b, 0, 0, 0, 0), Some(exact));
+        }
+
+        /// The suffix-filter bound never exceeds the true Hamming distance
+        /// (the safety property: pruning on it cannot drop true matches).
+        #[test]
+        fn hamming_bound_is_a_lower_bound(
+            a in sorted_set(), b in sorted_set(), hd_max in 0usize..100
+        ) {
+            let true_hamming = a.len() + b.len() - 2 * overlap(&a, &b);
+            let bound = hamming_lower_bound(&a, &b, hd_max);
+            prop_assert!(bound <= true_hamming,
+                "bound {bound} exceeds true hamming {true_hamming}");
+        }
+    }
+
+    #[test]
+    fn hamming_bound_identical_sets_is_zero() {
+        let a = tid(&[1, 2, 3, 4, 5]);
+        assert_eq!(hamming_lower_bound(&a, &a, 10), 0);
+    }
+
+    #[test]
+    fn hamming_bound_disjoint_sets_detected() {
+        let a = tid(&[1, 2, 3, 4]);
+        let b = tid(&[10, 20, 30, 40]);
+        // True hamming is 8; the bound must exceed a tight budget so the
+        // filter actually prunes.
+        assert!(hamming_lower_bound(&a, &b, 1) > 1);
+    }
+
+    #[test]
+    fn hamming_bound_empty_side() {
+        let a = tid(&[1, 2, 3]);
+        assert_eq!(hamming_lower_bound(&a, &tid(&[]), 5), 3);
+        assert_eq!(hamming_lower_bound(&tid(&[]), &tid(&[]), 5), 0);
+    }
+}

@@ -1,0 +1,393 @@
+//! The three processing vertices of the join topology.
+
+use crate::msg::{JoinMsg, RecordMsg};
+use crate::route::{token_owner, Router};
+use parking_lot::Mutex;
+use ssj_core::window::EvictionQueue;
+use ssj_core::join::bistream::BiStreamJoiner;
+use ssj_core::{JoinStats, MatchPair, StreamJoiner, Threshold, Window};
+use ssj_text::{FxHashMap, Record, RecordId, TokenId};
+use std::sync::Arc;
+use std::time::Instant;
+use stormlite::{Bolt, LatencyHistogram, Outbox};
+
+/// Routes each arriving record to its index/probe joiners. One task.
+pub struct DispatcherBolt<R: Router> {
+    router: R,
+}
+
+impl<R: Router> DispatcherBolt<R> {
+    /// A dispatcher around a router.
+    pub fn new(router: R) -> Self {
+        Self { router }
+    }
+}
+
+impl<R: Router> Bolt<JoinMsg> for DispatcherBolt<R> {
+    fn execute(&mut self, msg: JoinMsg, out: &mut Outbox<JoinMsg>) {
+        let incoming = msg.payload().expect("dispatcher receives record messages");
+        // Latency is measured from the moment the dispatcher makes the
+        // routing decision (the paper measures processing latency, not
+        // source queueing).
+        let payload = RecordMsg {
+            record: incoming.record.clone(),
+            ingest: Instant::now(),
+            side: incoming.side,
+        };
+        let decision = self.router.route(&payload.record);
+        let mut probe_iter = decision.probe.iter().peekable();
+        for &ix in &decision.index {
+            // Emit probes ordered before/interleaved with the index target;
+            // a target in both sets gets the atomic combined message.
+            while let Some(&&p) = probe_iter.peek() {
+                if p < ix {
+                    out.emit_direct(p, JoinMsg::Probe(payload.clone()));
+                    probe_iter.next();
+                } else {
+                    break;
+                }
+            }
+            if probe_iter.peek() == Some(&&ix) {
+                probe_iter.next();
+                out.emit_direct(ix, JoinMsg::ProbeAndIndex(payload.clone()));
+            } else {
+                out.emit_direct(ix, JoinMsg::Index(payload.clone()));
+            }
+        }
+        for &p in probe_iter {
+            out.emit_direct(p, JoinMsg::Probe(payload.clone()));
+        }
+    }
+}
+
+/// Exact duplicate-result elimination for replicating routers.
+///
+/// Under prefix routing, the pair `(s, r)` is produced at every joiner
+/// owning a token in `prefix(r) ∩ prefix(s)`. Exactly one joiner emits it:
+/// the owner of the *smallest* common prefix token. Each joiner remembers
+/// the prefix token set of every record it indexed (cheap: prefixes are
+/// short, token storage is shared) so it can evaluate the rule locally.
+struct PrefixDedup {
+    threshold: Threshold,
+    window: Window,
+    k: usize,
+    me: usize,
+    prefixes: FxHashMap<RecordId, Box<[TokenId]>>,
+    queue: EvictionQueue<RecordId>,
+}
+
+impl PrefixDedup {
+    fn advance(&mut self, probe_id: u64, probe_ts: u64) {
+        let prefixes = &mut self.prefixes;
+        self.queue
+            .drain_expired(self.window, probe_id, probe_ts, |id| {
+                prefixes.remove(&id);
+            });
+    }
+
+    fn on_index(&mut self, record: &Record) {
+        let p = self.threshold.prefix_len(record.len());
+        self.prefixes
+            .insert(record.id(), record.prefix(p).to_vec().into());
+        self.queue
+            .push(record.id().0, record.timestamp(), record.id());
+    }
+
+    fn should_emit(&self, probe: &Record, earlier: RecordId) -> bool {
+        let stored = self
+            .prefixes
+            .get(&earlier)
+            .expect("matched record was indexed here");
+        let p = self.threshold.prefix_len(probe.len());
+        let min_common = first_common(probe.prefix(p), stored)
+            .expect("a matching pair always shares a prefix token");
+        token_owner(min_common, self.k) == self.me
+    }
+}
+
+/// First (smallest) common element of two ascending token slices.
+fn first_common(a: &[TokenId], b: &[TokenId]) -> Option<TokenId> {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Equal => return Some(a[i]),
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+        }
+    }
+    None
+}
+
+/// Final per-joiner statistics published when the topology drains.
+#[derive(Debug, Clone)]
+pub struct JoinerSnapshot {
+    /// Task index of the joiner.
+    pub task: usize,
+    /// The local joiner's counters.
+    pub stats: JoinStats,
+    /// Records (or bundle members) still stored at drain time.
+    pub stored: usize,
+    /// Inverted-index postings at drain time.
+    pub postings: usize,
+}
+
+/// The joiner's local state: one index for self-joins, a pair of indexes
+/// for bi-stream joins.
+enum LocalState {
+    Solo(Box<dyn StreamJoiner + Send>),
+    Bi(BiStreamJoiner<Box<dyn StreamJoiner + Send>>),
+}
+
+impl LocalState {
+    fn probe(&mut self, payload: &RecordMsg, buf: &mut Vec<MatchPair>) {
+        match (self, payload.side) {
+            (LocalState::Solo(j), None) => j.probe(&payload.record, buf),
+            (LocalState::Bi(j), Some(side)) => j.probe(side, &payload.record, buf),
+            _ => panic!("message side does not match the joiner mode"),
+        }
+    }
+
+    fn insert(&mut self, payload: &RecordMsg) {
+        match (self, payload.side) {
+            (LocalState::Solo(j), None) => j.insert(&payload.record),
+            (LocalState::Bi(j), Some(side)) => j.insert(side, &payload.record),
+            _ => panic!("message side does not match the joiner mode"),
+        }
+    }
+
+    fn snapshot(&mut self, task: usize) -> JoinerSnapshot {
+        match self {
+            LocalState::Solo(j) => JoinerSnapshot {
+                task,
+                stats: j.stats().clone(),
+                stored: j.stored(),
+                postings: j.postings(),
+            },
+            LocalState::Bi(j) => {
+                let stored = j.stored();
+                let postings = j.postings();
+                JoinerSnapshot {
+                    task,
+                    stats: j.stats().clone(),
+                    stored,
+                    postings,
+                }
+            }
+        }
+    }
+}
+
+/// One of the `k` parallel joiners: wraps any local [`StreamJoiner`]
+/// (self-join) or a [`BiStreamJoiner`] pair (R–S join).
+pub struct JoinerBolt {
+    local: LocalState,
+    dedup: Option<PrefixDedup>,
+    task: usize,
+    buf: Vec<MatchPair>,
+    snapshots: Arc<Mutex<Vec<JoinerSnapshot>>>,
+}
+
+impl JoinerBolt {
+    fn with_state(
+        local: LocalState,
+        dedup_cfg: Option<(Threshold, Window, usize)>,
+        task: usize,
+        snapshots: Arc<Mutex<Vec<JoinerSnapshot>>>,
+    ) -> Self {
+        let dedup = dedup_cfg.map(|(threshold, window, k)| PrefixDedup {
+            threshold,
+            window,
+            k,
+            me: task,
+            prefixes: FxHashMap::default(),
+            queue: EvictionQueue::new(),
+        });
+        Self {
+            local,
+            dedup,
+            task,
+            buf: Vec::new(),
+            snapshots,
+        }
+    }
+
+    /// A self-join joiner bolt. `dedup_cfg` must be provided exactly when
+    /// the router replicates records (`Router::needs_result_dedup`).
+    pub fn new(
+        joiner: Box<dyn StreamJoiner + Send>,
+        dedup_cfg: Option<(Threshold, Window, usize)>,
+        task: usize,
+        snapshots: Arc<Mutex<Vec<JoinerSnapshot>>>,
+    ) -> Self {
+        Self::with_state(LocalState::Solo(joiner), dedup_cfg, task, snapshots)
+    }
+
+    /// A bi-stream (R–S) joiner bolt holding one index per side.
+    pub fn new_bistream(
+        factory: impl FnMut() -> Box<dyn StreamJoiner + Send>,
+        dedup_cfg: Option<(Threshold, Window, usize)>,
+        task: usize,
+        snapshots: Arc<Mutex<Vec<JoinerSnapshot>>>,
+    ) -> Self {
+        Self::with_state(
+            LocalState::Bi(BiStreamJoiner::new(factory)),
+            dedup_cfg,
+            task,
+            snapshots,
+        )
+    }
+
+    fn probe(&mut self, payload: &RecordMsg, out: &mut Outbox<JoinMsg>) {
+        self.buf.clear();
+        self.local.probe(payload, &mut self.buf);
+        for pair in self.buf.drain(..) {
+            if let Some(d) = &self.dedup {
+                if !d.should_emit(&payload.record, pair.earlier) {
+                    continue;
+                }
+            }
+            out.emit(JoinMsg::Result {
+                pair,
+                ingest: payload.ingest,
+            });
+        }
+    }
+
+    fn insert(&mut self, payload: &RecordMsg) {
+        self.local.insert(payload);
+        if let Some(d) = &mut self.dedup {
+            d.on_index(&payload.record);
+        }
+    }
+
+    fn advance_dedup(&mut self, record: &Record) {
+        if let Some(d) = &mut self.dedup {
+            d.advance(record.id().0, record.timestamp());
+        }
+    }
+}
+
+impl Bolt<JoinMsg> for JoinerBolt {
+    fn execute(&mut self, msg: JoinMsg, out: &mut Outbox<JoinMsg>) {
+        match msg {
+            JoinMsg::Probe(payload) => {
+                self.advance_dedup(&payload.record);
+                self.probe(&payload, out);
+            }
+            JoinMsg::Index(payload) => {
+                self.advance_dedup(&payload.record);
+                self.insert(&payload);
+            }
+            JoinMsg::ProbeAndIndex(payload) => {
+                self.advance_dedup(&payload.record);
+                self.probe(&payload, out);
+                self.insert(&payload);
+            }
+            JoinMsg::Result { .. } => unreachable!("joiners do not receive results"),
+        }
+    }
+
+    fn finish(&mut self, _out: &mut Outbox<JoinMsg>) {
+        let snapshot = self.local.snapshot(self.task);
+        self.snapshots.lock().push(snapshot);
+    }
+}
+
+/// What the sink accumulated over a run.
+#[derive(Debug, Default)]
+pub struct SinkState {
+    /// Every result pair.
+    pub pairs: Vec<MatchPair>,
+    /// Dispatch-to-result latency distribution.
+    pub latency: LatencyHistogram,
+}
+
+/// Terminal bolt: collects result pairs and measures latency. One task.
+pub struct SinkBolt {
+    state: Arc<Mutex<SinkState>>,
+}
+
+impl SinkBolt {
+    /// A sink writing into shared state.
+    pub fn new(state: Arc<Mutex<SinkState>>) -> Self {
+        Self { state }
+    }
+}
+
+impl Bolt<JoinMsg> for SinkBolt {
+    fn execute(&mut self, msg: JoinMsg, _out: &mut Outbox<JoinMsg>) {
+        match msg {
+            JoinMsg::Result { pair, ingest } => {
+                let mut s = self.state.lock();
+                s.pairs.push(pair);
+                s.latency.record(ingest.elapsed());
+            }
+            _ => unreachable!("sink only receives results"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tid(xs: &[u32]) -> Vec<TokenId> {
+        xs.iter().copied().map(TokenId).collect()
+    }
+
+    #[test]
+    fn first_common_finds_smallest() {
+        assert_eq!(
+            first_common(&tid(&[2, 5, 9]), &tid(&[3, 5, 9])),
+            Some(TokenId(5))
+        );
+        assert_eq!(first_common(&tid(&[1, 2]), &tid(&[3, 4])), None);
+        assert_eq!(first_common(&tid(&[]), &tid(&[1])), None);
+        assert_eq!(
+            first_common(&tid(&[7]), &tid(&[7])),
+            Some(TokenId(7))
+        );
+    }
+
+    #[test]
+    fn dedup_emits_exactly_one_owner() {
+        let threshold = Threshold::jaccard(0.5);
+        let k = 4;
+        let r = Record::from_sorted(RecordId(1), 1, tid(&[10, 20, 30, 40]));
+        let s = Record::from_sorted(RecordId(0), 0, tid(&[10, 20, 30, 41]));
+        // Build one dedup per joiner, index s everywhere (as replication
+        // would), and count how many would emit the pair.
+        let emitted: usize = (0..k)
+            .filter(|&me| {
+                let mut d = PrefixDedup {
+                    threshold,
+                    window: Window::Unbounded,
+                    k,
+                    me,
+                    prefixes: FxHashMap::default(),
+                    queue: EvictionQueue::new(),
+                };
+                d.on_index(&s);
+                d.should_emit(&r, RecordId(0))
+            })
+            .count();
+        assert_eq!(emitted, 1);
+    }
+
+    #[test]
+    fn dedup_window_eviction_drops_prefixes() {
+        let mut d = PrefixDedup {
+            threshold: Threshold::jaccard(0.5),
+            window: Window::Count(1),
+            k: 2,
+            me: 0,
+            prefixes: FxHashMap::default(),
+            queue: EvictionQueue::new(),
+        };
+        let s = Record::from_sorted(RecordId(0), 0, tid(&[1, 2, 3]));
+        d.on_index(&s);
+        assert_eq!(d.prefixes.len(), 1);
+        d.advance(5, 5);
+        assert!(d.prefixes.is_empty());
+    }
+}

@@ -1,0 +1,741 @@
+//! End-to-end distributed join driver: assembles the topology, runs a
+//! stream through it, and reports results plus every observable the
+//! evaluation needs (throughput, communication, load balance, latency).
+
+use crate::bolts::{DispatcherBolt, JoinerBolt, JoinerSnapshot, SinkBolt, SinkState};
+use crate::msg::{JoinMsg, RecordMsg};
+use crate::route::{BroadcastRouter, EpochRouter, LengthRouter, PrefixRouter, Router};
+use parking_lot::Mutex;
+use ssj_core::{
+    AllPairsJoiner, BundleConfig, BundleJoiner, JoinConfig, MatchPair, NaiveJoiner, PpJoinJoiner,
+    StreamJoiner, Threshold,
+};
+use ssj_partition::{
+    equal_depth, equal_width, load_aware, load_aware_greedy, CostModel, EpochConfig,
+    EpochedPartitioner, LengthHistogram, LengthPartition,
+};
+use ssj_text::Record;
+use std::sync::Arc;
+use std::time::Instant;
+use stormlite::{Grouping, LatencyHistogram, RunReport, Topology};
+
+/// Which local join algorithm each joiner runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LocalAlgo {
+    /// Verify-everything ground truth (tests/ablation only).
+    Naive,
+    /// Prefix + length filtering.
+    AllPairs,
+    /// Prefix + length + positional filtering.
+    PpJoin,
+    /// PPJoin plus suffix filtering.
+    PpJoinPlus,
+    /// The paper's bundle-based join with batch verification.
+    Bundle {
+        /// Absorption threshold; `None` uses the [`BundleConfig`] default.
+        bundle_tau: Option<f64>,
+        /// Member cap per bundle.
+        max_members: usize,
+        /// Delta-size cap as a fraction of the representative length.
+        max_delta_frac: f64,
+    },
+}
+
+impl LocalAlgo {
+    /// Bundle join with default parameters.
+    pub fn bundle() -> Self {
+        LocalAlgo::Bundle {
+            bundle_tau: None,
+            max_members: 64,
+            max_delta_frac: 0.25,
+        }
+    }
+
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LocalAlgo::Naive => "naive",
+            LocalAlgo::AllPairs => "allpairs",
+            LocalAlgo::PpJoin => "ppjoin",
+            LocalAlgo::PpJoinPlus => "ppjoin+",
+            LocalAlgo::Bundle { .. } => "bundle",
+        }
+    }
+
+    fn build(&self, cfg: JoinConfig) -> Box<dyn StreamJoiner + Send> {
+        match *self {
+            LocalAlgo::Naive => Box::new(NaiveJoiner::new(cfg)),
+            LocalAlgo::AllPairs => Box::new(AllPairsJoiner::new(cfg)),
+            LocalAlgo::PpJoin => Box::new(PpJoinJoiner::new(cfg)),
+            LocalAlgo::PpJoinPlus => Box::new(PpJoinJoiner::new_plus(cfg)),
+            LocalAlgo::Bundle {
+                bundle_tau,
+                max_members,
+                max_delta_frac,
+            } => {
+                let mut bc = BundleConfig::new(cfg);
+                if let Some(bt) = bundle_tau {
+                    bc.bundle_tau = bt;
+                }
+                bc.max_members = max_members;
+                bc.max_delta_frac = max_delta_frac;
+                Box::new(BundleJoiner::new(bc))
+            }
+        }
+    }
+}
+
+/// How a calibration sample is turned into a length partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionMethod {
+    /// Equal-width length ranges.
+    EqualWidth,
+    /// Equi-frequency (record-count balanced) ranges.
+    EqualDepth,
+    /// Load-aware minimax DP over the cost mass `H(ℓ)` (the paper's).
+    LoadAware,
+    /// Load-aware via binary search + greedy sweep.
+    LoadAwareGreedy,
+}
+
+/// Builds a length partition from a record sample.
+pub fn calibrate_partition(
+    sample: &[Record],
+    threshold: Threshold,
+    k: usize,
+    method: PartitionMethod,
+) -> LengthPartition {
+    let hist = LengthHistogram::from_records(sample);
+    match method {
+        PartitionMethod::EqualWidth => equal_width(hist.max_len(), k),
+        PartitionMethod::EqualDepth => equal_depth(&hist, k),
+        PartitionMethod::LoadAware => {
+            load_aware(&CostModel::build(&hist, threshold, hist.max_len()), k)
+        }
+        PartitionMethod::LoadAwareGreedy => {
+            load_aware_greedy(&CostModel::build(&hist, threshold, hist.max_len()), k)
+        }
+    }
+}
+
+/// The distribution strategy to run.
+#[derive(Debug, Clone)]
+pub enum Strategy {
+    /// Length-based routing over an explicit partition.
+    Length(LengthPartition),
+    /// Length-based routing; the partition is calibrated from the first
+    /// `sample` records of the stream with the given method.
+    LengthAuto {
+        /// Partitioning method.
+        method: PartitionMethod,
+        /// Calibration sample size.
+        sample: usize,
+    },
+    /// Length-based routing with online repartitioning under drift.
+    LengthOnline {
+        /// Calibration sample size for the initial plan.
+        sample: usize,
+        /// Drift-detection policy.
+        epoch: EpochConfig,
+    },
+    /// Prefix-token hash routing (replicating baseline).
+    Prefix,
+    /// Round-robin index + probe broadcast (baseline).
+    Broadcast,
+}
+
+impl Strategy {
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::Length(_) | Strategy::LengthAuto { .. } => "length",
+            Strategy::LengthOnline { .. } => "length-online",
+            Strategy::Prefix => "prefix",
+            Strategy::Broadcast => "broadcast",
+        }
+    }
+}
+
+/// Full configuration of a distributed run.
+#[derive(Debug, Clone)]
+pub struct DistributedJoinConfig {
+    /// Number of parallel joiners.
+    pub k: usize,
+    /// Threshold and window.
+    pub join: JoinConfig,
+    /// Local algorithm on each joiner.
+    pub local: LocalAlgo,
+    /// Distribution strategy.
+    pub strategy: Strategy,
+    /// Per-task input queue depth (backpressure).
+    pub channel_capacity: usize,
+    /// Pace the source to this many records per second (`None` = as fast
+    /// as the pipeline accepts; used by the latency experiments).
+    pub source_rate: Option<f64>,
+}
+
+impl DistributedJoinConfig {
+    /// The paper's default setup: length-based (load-aware, calibrated on
+    /// the first 10k records) + bundle join.
+    pub fn recommended(k: usize, join: JoinConfig) -> Self {
+        Self {
+            k,
+            join,
+            local: LocalAlgo::bundle(),
+            strategy: Strategy::LengthAuto {
+                method: PartitionMethod::LoadAware,
+                sample: 10_000,
+            },
+            channel_capacity: 1024,
+            source_rate: None,
+        }
+    }
+}
+
+/// Everything a distributed run produced.
+#[derive(Debug)]
+pub struct DistributedJoinResult {
+    /// All result pairs (exact, duplicate-free).
+    pub pairs: Vec<MatchPair>,
+    /// Dispatch-to-result latency distribution.
+    pub latency: LatencyHistogram,
+    /// Per-task engine metrics.
+    pub report: RunReport,
+    /// Final per-joiner algorithm statistics.
+    pub joiners: Vec<JoinerSnapshot>,
+    /// Records streamed.
+    pub records: usize,
+    /// Wall-clock time from first dispatch to full drain.
+    pub wall: std::time::Duration,
+}
+
+impl DistributedJoinResult {
+    /// End-to-end throughput in records per second.
+    pub fn throughput(&self) -> f64 {
+        if self.wall.is_zero() {
+            return 0.0;
+        }
+        self.records as f64 / self.wall.as_secs_f64()
+    }
+
+    /// Dispatcher→joiner messages per record (communication cost).
+    pub fn msgs_per_record(&self) -> f64 {
+        if self.records == 0 {
+            return 0.0;
+        }
+        self.report.component("dispatcher").msgs_out as f64 / self.records as f64
+    }
+
+    /// Dispatcher→joiner bytes per record (communication cost).
+    pub fn bytes_per_record(&self) -> f64 {
+        if self.records == 0 {
+            return 0.0;
+        }
+        self.report.component("dispatcher").bytes_out as f64 / self.records as f64
+    }
+
+    /// Index replication factor: stored copies per record.
+    pub fn replication(&self) -> f64 {
+        if self.records == 0 {
+            return 0.0;
+        }
+        let indexed: u64 = self.joiners.iter().map(|j| j.stats.indexed).sum();
+        indexed as f64 / self.records as f64
+    }
+
+    /// Critical-path throughput projection: records divided by the busiest
+    /// single task's busy time. On a genuinely parallel machine the
+    /// pipeline can go no faster than its most loaded stage; on the
+    /// single-core containers these experiments often run in, wall-clock
+    /// throughput cannot show parallel speedup, while this projection
+    /// preserves the scaling *shape* (it is what a `k`-core deployment
+    /// would be bounded by, ignoring communication overlap).
+    pub fn modeled_throughput(&self) -> f64 {
+        let bottleneck = self
+            .report
+            .tasks
+            .iter()
+            .map(|(_, _, m)| m.busy.as_secs_f64())
+            .fold(0.0f64, f64::max);
+        if bottleneck <= 0.0 {
+            return 0.0;
+        }
+        self.records as f64 / bottleneck
+    }
+
+    /// Joiner load imbalance: max/avg of per-joiner busy time.
+    pub fn load_imbalance(&self) -> f64 {
+        let busy: Vec<f64> = self
+            .report
+            .tasks
+            .iter()
+            .filter(|(c, _, _)| c == "joiner")
+            .map(|(_, _, m)| m.busy.as_secs_f64())
+            .collect();
+        let total: f64 = busy.iter().sum();
+        if busy.is_empty() || total <= 0.0 {
+            return 1.0;
+        }
+        busy.iter().fold(0.0f64, |a, &b| a.max(b)) * busy.len() as f64 / total
+    }
+}
+
+/// Runs `records` through the configured distributed self-join and returns
+/// the exact result set plus all measurements.
+pub fn run_distributed(
+    records: &[Record],
+    cfg: &DistributedJoinConfig,
+) -> DistributedJoinResult {
+    let source: Vec<JoinMsg> = records
+        .iter()
+        .map(|r| JoinMsg::ProbeAndIndex(RecordMsg::solo(r.clone(), Instant::now())))
+        .collect();
+    run_internal(source, records, false, cfg)
+}
+
+/// Runs a bi-stream (R–S) join: every record of one stream is matched
+/// against the other stream's records inside the window. Record ids must
+/// be globally unique and increasing across both streams (they define the
+/// arrival interleaving).
+pub fn run_bistream_distributed(
+    left: &[Record],
+    right: &[Record],
+    cfg: &DistributedJoinConfig,
+) -> DistributedJoinResult {
+    use ssj_core::join::bistream::merge_streams;
+    let merged = merge_streams(left, right);
+    let sample: Vec<Record> = merged.iter().map(|(_, r)| r.clone()).collect();
+    let source: Vec<JoinMsg> = merged
+        .into_iter()
+        .map(|(side, record)| {
+            JoinMsg::ProbeAndIndex(RecordMsg {
+                record,
+                ingest: Instant::now(),
+                side: Some(side),
+            })
+        })
+        .collect();
+    run_internal(source, &sample, true, cfg)
+}
+
+fn run_internal(
+    source: Vec<JoinMsg>,
+    arrival_order: &[Record],
+    bistream: bool,
+    cfg: &DistributedJoinConfig,
+) -> DistributedJoinResult {
+    assert!(cfg.k >= 1, "need at least one joiner");
+    let threshold = cfg.join.threshold;
+    let window = cfg.join.window;
+    let n_records = source.len();
+
+    let router: Box<dyn Router + Send> = match &cfg.strategy {
+        Strategy::Length(partition) => {
+            assert_eq!(partition.k(), cfg.k, "partition/k mismatch");
+            Box::new(LengthRouter::new(threshold, partition.clone()))
+        }
+        Strategy::LengthAuto { method, sample } => {
+            let take = (*sample).clamp(1, arrival_order.len().max(1));
+            let sample = &arrival_order[..take.min(arrival_order.len())];
+            let partition = calibrate_partition(sample, threshold, cfg.k, *method);
+            Box::new(LengthRouter::new(threshold, partition))
+        }
+        Strategy::LengthOnline { sample, epoch } => {
+            let take = (*sample).clamp(1, arrival_order.len().max(1));
+            let sample = &arrival_order[..take.min(arrival_order.len())];
+            let initial =
+                calibrate_partition(sample, threshold, cfg.k, PartitionMethod::LoadAware);
+            Box::new(EpochRouter::new(EpochedPartitioner::new(
+                threshold, window, initial, *epoch,
+            )))
+        }
+        Strategy::Prefix => Box::new(PrefixRouter::new(threshold, cfg.k)),
+        Strategy::Broadcast => Box::new(BroadcastRouter::new(cfg.k)),
+    };
+    let needs_dedup = router.needs_result_dedup();
+
+    let sink_state = Arc::new(Mutex::new(SinkState::default()));
+    let snapshots: Arc<Mutex<Vec<JoinerSnapshot>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let mut topology: Topology<JoinMsg> =
+        Topology::new().with_channel_capacity(cfg.channel_capacity);
+    match cfg.source_rate {
+        Some(rate) => topology.spout(
+            "source",
+            crate::pace::PacedIter::new(source.into_iter(), rate),
+        ),
+        None => topology.spout("source", source),
+    }
+
+    // The dispatcher is stateful (routers mutate) and single-task; move the
+    // router into the one instance the factory builds.
+    let mut router_slot = Some(DispatcherBolt::new(router));
+    topology.bolt("dispatcher", 1, move |_| {
+        router_slot.take().expect("dispatcher built once")
+    });
+
+    let join_cfg = cfg.join;
+    let local = cfg.local;
+    let k = cfg.k;
+    let snaps = Arc::clone(&snapshots);
+    topology.bolt("joiner", cfg.k, move |task| {
+        let dedup = needs_dedup.then_some((join_cfg.threshold, join_cfg.window, k));
+        if bistream {
+            JoinerBolt::new_bistream(
+                || local.build(join_cfg),
+                dedup,
+                task,
+                Arc::clone(&snaps),
+            )
+        } else {
+            JoinerBolt::new(local.build(join_cfg), dedup, task, Arc::clone(&snaps))
+        }
+    });
+
+    let sink_shared = Arc::clone(&sink_state);
+    topology.bolt("sink", 1, move |_| SinkBolt::new(Arc::clone(&sink_shared)));
+
+    topology.wire("source", "dispatcher", Grouping::global());
+    topology.wire("dispatcher", "joiner", Grouping::direct());
+    topology.wire("joiner", "sink", Grouping::global());
+
+    let report = topology.run();
+    let wall = report.elapsed;
+
+    let mut sink = sink_state.lock();
+    let pairs = std::mem::take(&mut sink.pairs);
+    let latency = sink.latency.clone();
+    drop(sink);
+    let mut joiners = std::mem::take(&mut *snapshots.lock());
+    joiners.sort_by_key(|s| s.task);
+
+    DistributedJoinResult {
+        pairs,
+        latency,
+        report,
+        joiners,
+        records: n_records,
+        wall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssj_core::{join::run_stream, Window};
+
+    fn workload(n: usize, dup_rate: f64) -> Vec<Record> {
+        use ssj_workloads::{DatasetProfile, StreamGenerator};
+        let profile = DatasetProfile::tweet().with_dup_rate(dup_rate);
+        StreamGenerator::new(profile, 42).take_records(n)
+    }
+
+    fn ground_truth(records: &[Record], join: JoinConfig) -> Vec<(u64, u64)> {
+        let mut naive = NaiveJoiner::new(join);
+        let mut keys: Vec<_> = run_stream(&mut naive, records)
+            .iter()
+            .map(|m| m.key())
+            .collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    fn run_keys(records: &[Record], cfg: &DistributedJoinConfig) -> Vec<(u64, u64)> {
+        let result = run_distributed(records, cfg);
+        let mut keys: Vec<_> = result.pairs.iter().map(|m| m.key()).collect();
+        keys.sort_unstable();
+        assert_eq!(
+            keys.windows(2).filter(|w| w[0] == w[1]).count(),
+            0,
+            "duplicate result pairs"
+        );
+        keys
+    }
+
+    #[test]
+    fn length_strategy_matches_ground_truth() {
+        let records = workload(800, 0.3);
+        let join = JoinConfig::jaccard(0.7);
+        let expect = ground_truth(&records, join);
+        for local in [LocalAlgo::AllPairs, LocalAlgo::PpJoin, LocalAlgo::bundle()] {
+            let cfg = DistributedJoinConfig {
+                k: 4,
+                join,
+                local,
+                strategy: Strategy::LengthAuto {
+                    method: PartitionMethod::LoadAware,
+                    sample: 200,
+                },
+                channel_capacity: 256,
+                source_rate: None,
+            };
+            assert_eq!(run_keys(&records, &cfg), expect, "local={}", local.name());
+        }
+    }
+
+    #[test]
+    fn prefix_strategy_matches_ground_truth_with_exact_dedup() {
+        let records = workload(600, 0.3);
+        let join = JoinConfig::jaccard(0.7);
+        let expect = ground_truth(&records, join);
+        let cfg = DistributedJoinConfig {
+            k: 4,
+            join,
+            local: LocalAlgo::PpJoin,
+            strategy: Strategy::Prefix,
+            channel_capacity: 256,
+            source_rate: None,
+        };
+        assert_eq!(run_keys(&records, &cfg), expect);
+    }
+
+    #[test]
+    fn broadcast_strategy_matches_ground_truth() {
+        let records = workload(600, 0.3);
+        let join = JoinConfig::jaccard(0.7);
+        let expect = ground_truth(&records, join);
+        let cfg = DistributedJoinConfig {
+            k: 3,
+            join,
+            local: LocalAlgo::AllPairs,
+            strategy: Strategy::Broadcast,
+            channel_capacity: 256,
+            source_rate: None,
+        };
+        assert_eq!(run_keys(&records, &cfg), expect);
+    }
+
+    #[test]
+    fn windowed_distributed_matches_ground_truth() {
+        let records = workload(700, 0.4);
+        let join = JoinConfig {
+            threshold: Threshold::jaccard(0.6),
+            window: Window::Count(120),
+        };
+        let expect = ground_truth(&records, join);
+        for strategy in [
+            Strategy::LengthAuto {
+                method: PartitionMethod::EqualDepth,
+                sample: 100,
+            },
+            Strategy::Prefix,
+        ] {
+            let cfg = DistributedJoinConfig {
+                k: 4,
+                join,
+                local: LocalAlgo::PpJoin,
+                strategy,
+                channel_capacity: 128,
+                source_rate: None,
+            };
+            assert_eq!(run_keys(&records, &cfg), expect);
+        }
+    }
+
+    #[test]
+    fn online_repartitioning_stays_exact_under_drift() {
+        use ssj_workloads::{DatasetProfile, DriftConfig, DriftingGenerator};
+        let records = DriftingGenerator::new(
+            DatasetProfile::dblp(),
+            7,
+            DriftConfig::length_drift(600, 2.0),
+        )
+        .take_records(1200);
+        let join = JoinConfig {
+            threshold: Threshold::jaccard(0.7),
+            window: Window::Count(300),
+        };
+        let expect = ground_truth(&records, join);
+        let cfg = DistributedJoinConfig {
+            k: 4,
+            join,
+            local: LocalAlgo::PpJoin,
+            strategy: Strategy::LengthOnline {
+                sample: 150,
+                epoch: EpochConfig {
+                    check_every: 200,
+                    rebalance_factor: 1.1,
+                    max_plans: 4,
+                },
+            },
+            channel_capacity: 256,
+            source_rate: None,
+        };
+        assert_eq!(run_keys(&records, &cfg), expect);
+    }
+
+    #[test]
+    fn length_strategy_never_replicates() {
+        let records = workload(500, 0.2);
+        let cfg = DistributedJoinConfig {
+            k: 4,
+            join: JoinConfig::jaccard(0.8),
+            local: LocalAlgo::PpJoin,
+            strategy: Strategy::LengthAuto {
+                method: PartitionMethod::LoadAware,
+                sample: 100,
+            },
+            channel_capacity: 256,
+            source_rate: None,
+        };
+        let result = run_distributed(&records, &cfg);
+        assert!((result.replication() - 1.0).abs() < 1e-9);
+        assert!(result.msgs_per_record() >= 1.0);
+    }
+
+    #[test]
+    fn prefix_strategy_replicates_more_than_length() {
+        // Long records (ENRON-like) make prefixes long, so prefix routing
+        // fans each record out to almost every owner while length routing
+        // indexes exactly once and probes a narrow partition interval.
+        use ssj_workloads::{DatasetProfile, StreamGenerator};
+        let records =
+            StreamGenerator::new(DatasetProfile::enron(), 42).take_records(300);
+        let join = JoinConfig::jaccard(0.8);
+        let mk = |strategy| DistributedJoinConfig {
+            k: 8,
+            join,
+            local: LocalAlgo::PpJoin,
+            strategy,
+            channel_capacity: 256,
+            source_rate: None,
+        };
+        let length = run_distributed(
+            &records,
+            &mk(Strategy::LengthAuto {
+                method: PartitionMethod::LoadAware,
+                sample: 100,
+            }),
+        );
+        let prefix = run_distributed(&records, &mk(Strategy::Prefix));
+        assert!(prefix.replication() >= length.replication());
+        assert!(prefix.bytes_per_record() > length.bytes_per_record());
+    }
+
+    #[test]
+    fn single_joiner_works() {
+        let records = workload(300, 0.3);
+        let join = JoinConfig::jaccard(0.7);
+        let expect = ground_truth(&records, join);
+        let cfg = DistributedJoinConfig {
+            k: 1,
+            join,
+            local: LocalAlgo::bundle(),
+            strategy: Strategy::LengthAuto {
+                method: PartitionMethod::LoadAware,
+                sample: 50,
+            },
+            channel_capacity: 64,
+            source_rate: None,
+        };
+        assert_eq!(run_keys(&records, &cfg), expect);
+    }
+
+    /// Reference bi-join result built from the naive joiner run on the
+    /// merged arrival sequence, keeping only cross-stream pairs.
+    fn bistream_ground_truth(
+        left: &[Record],
+        right: &[Record],
+        join: JoinConfig,
+    ) -> Vec<(u64, u64)> {
+        use ssj_core::join::bistream::{merge_streams, run_bistream, BiStreamJoiner};
+        let merged = merge_streams(left, right);
+        let mut j = BiStreamJoiner::new(|| NaiveJoiner::new(join));
+        let mut keys: Vec<_> = run_bistream(&mut j, &merged)
+            .iter()
+            .map(|m| m.key())
+            .collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    fn split_workload(n: usize) -> (Vec<Record>, Vec<Record>) {
+        // Interleave one generated stream into two sides so that plenty of
+        // cross-stream matches exist (near-duplicates land on both sides).
+        let all = workload(n, 0.4);
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        for r in all {
+            if r.id().0 % 2 == 0 {
+                left.push(r);
+            } else {
+                right.push(r);
+            }
+        }
+        (left, right)
+    }
+
+    #[test]
+    fn bistream_distributed_matches_ground_truth() {
+        let (left, right) = split_workload(700);
+        let join = JoinConfig::jaccard(0.7);
+        let expect = bistream_ground_truth(&left, &right, join);
+        assert!(!expect.is_empty(), "workload must produce matches");
+        for (local, strategy) in [
+            (
+                LocalAlgo::bundle(),
+                Strategy::LengthAuto {
+                    method: PartitionMethod::LoadAware,
+                    sample: 100,
+                },
+            ),
+            (LocalAlgo::PpJoin, Strategy::Prefix),
+            (LocalAlgo::AllPairs, Strategy::Broadcast),
+        ] {
+            let cfg = DistributedJoinConfig {
+                k: 4,
+                join,
+                local,
+                strategy,
+                channel_capacity: 128,
+                source_rate: None,
+            };
+            let out = run_bistream_distributed(&left, &right, &cfg);
+            let mut got: Vec<_> = out.pairs.iter().map(|m| m.key()).collect();
+            got.sort_unstable();
+            assert_eq!(got, expect, "local={}", local.name());
+        }
+    }
+
+    #[test]
+    fn bistream_windowed_matches_ground_truth() {
+        let (left, right) = split_workload(600);
+        let join = JoinConfig {
+            threshold: Threshold::jaccard(0.6),
+            window: Window::Count(90),
+        };
+        let expect = bistream_ground_truth(&left, &right, join);
+        let cfg = DistributedJoinConfig {
+            k: 3,
+            join,
+            local: LocalAlgo::PpJoin,
+            strategy: Strategy::LengthAuto {
+                method: PartitionMethod::EqualDepth,
+                sample: 80,
+            },
+            channel_capacity: 64,
+            source_rate: None,
+        };
+        let out = run_bistream_distributed(&left, &right, &cfg);
+        let mut got: Vec<_> = out.pairs.iter().map(|m| m.key()).collect();
+        got.sort_unstable();
+        assert_eq!(got, expect);
+        assert_eq!(out.records, left.len() + right.len());
+    }
+
+    #[test]
+    fn result_metadata_is_consistent() {
+        let records = workload(400, 0.3);
+        let cfg = DistributedJoinConfig::recommended(4, JoinConfig::jaccard(0.8));
+        let result = run_distributed(&records, &cfg);
+        assert_eq!(result.records, 400);
+        assert_eq!(result.joiners.len(), 4);
+        assert_eq!(
+            result.latency.count(),
+            result.pairs.len() as u64,
+            "one latency sample per result"
+        );
+        assert!(result.throughput() > 0.0);
+        assert!(result.load_imbalance() >= 1.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! Distribution frameworks for the streaming set similarity join.
+//!
+//! A single dispatcher routes each arriving record to `k` parallel joiners
+//! as *probe* and/or *index* messages; joiners run a local
+//! [`StreamJoiner`](ssj_core::StreamJoiner) and emit result pairs to a
+//! sink. Three routing strategies are provided:
+//!
+//! * **Length-based** ([`route::LengthRouter`]) — the paper's scheme: index
+//!   at the one joiner owning the record's length (zero replication), probe
+//!   the joiners whose length ranges intersect the length-filter interval.
+//! * **Prefix-based** ([`route::PrefixRouter`]) — the classic offline
+//!   scheme adapted to streams: hash each prefix token to a joiner;
+//!   records are *replicated* to every joiner owning one of their prefix
+//!   tokens, and duplicate results are eliminated exactly by the
+//!   smallest-common-prefix-token rule.
+//! * **Broadcast** ([`route::BroadcastRouter`]) — index round-robin, probe
+//!   everywhere.
+//!
+//! [`driver::run_distributed`] assembles the dispatcher → joiners → sink
+//! topology on [`stormlite`], runs a record stream through it, and returns
+//! the result pairs plus throughput / communication / load / latency
+//! measurements — the observables of every distributed experiment in
+//! EXPERIMENTS.md.
+
+#![warn(missing_docs)]
+
+pub mod bolts;
+pub mod driver;
+pub mod msg;
+pub mod pace;
+pub mod route;
+
+pub use driver::{
+    calibrate_partition, run_bistream_distributed, run_distributed, DistributedJoinConfig,
+    DistributedJoinResult, LocalAlgo, PartitionMethod, Strategy,
+};
+pub use msg::{JoinMsg, RecordMsg};
+pub use pace::PacedIter;
+pub use route::{BroadcastRouter, LengthRouter, PrefixRouter, RouteDecision, Router};

@@ -1,0 +1,135 @@
+//! The tuple vocabulary of the join topology.
+
+use ssj_core::join::bistream::Side;
+use ssj_core::MatchPair;
+use ssj_text::Record;
+use std::time::Instant;
+use stormlite::Message;
+
+/// The payload of every record-bearing message.
+///
+/// `ingest` stamps carry the dispatch instant through the pipeline so the
+/// sink can measure per-record processing latency. `side` is `None` for
+/// self-joins and tags the source stream for bi-stream (R–S) joins.
+#[derive(Debug, Clone)]
+pub struct RecordMsg {
+    /// The record.
+    pub record: Record,
+    /// When the dispatcher saw the record.
+    pub ingest: Instant,
+    /// Source stream for bi-stream joins (`None` = self-join).
+    pub side: Option<Side>,
+}
+
+impl RecordMsg {
+    /// A self-join payload.
+    pub fn solo(record: Record, ingest: Instant) -> Self {
+        Self {
+            record,
+            ingest,
+            side: None,
+        }
+    }
+}
+
+/// Messages flowing between dispatcher, joiners and sink.
+#[derive(Debug, Clone)]
+pub enum JoinMsg {
+    /// Probe the local index with this record (do not store it).
+    Probe(RecordMsg),
+    /// Store this record in the local index (no probe).
+    Index(RecordMsg),
+    /// Probe first, then store — the atomic step used when one joiner is
+    /// both a probe and the index target of the same record.
+    ProbeAndIndex(RecordMsg),
+    /// A verified result pair.
+    Result {
+        /// The matching pair.
+        pair: MatchPair,
+        /// Dispatch instant of the probing record.
+        ingest: Instant,
+    },
+}
+
+impl JoinMsg {
+    /// The carried record for record-bearing variants.
+    pub fn record(&self) -> Option<&Record> {
+        match self {
+            JoinMsg::Probe(m) | JoinMsg::Index(m) | JoinMsg::ProbeAndIndex(m) => Some(&m.record),
+            JoinMsg::Result { .. } => None,
+        }
+    }
+
+    /// The full payload for record-bearing variants.
+    pub fn payload(&self) -> Option<&RecordMsg> {
+        match self {
+            JoinMsg::Probe(m) | JoinMsg::Index(m) | JoinMsg::ProbeAndIndex(m) => Some(m),
+            JoinMsg::Result { .. } => None,
+        }
+    }
+}
+
+impl Message for JoinMsg {
+    fn wire_bytes(&self) -> u64 {
+        // 1 tag byte + payload, matching what a compact binary codec would
+        // ship: records as (id, ts, len, tokens) plus a side byte for
+        // bi-stream tuples, results as (id, id, sim).
+        match self {
+            JoinMsg::Probe(m) | JoinMsg::Index(m) | JoinMsg::ProbeAndIndex(m) => {
+                1 + m.record.wire_bytes() + u64::from(m.side.is_some())
+            }
+            JoinMsg::Result { .. } => 1 + 8 + 8 + 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssj_text::{RecordId, TokenId};
+
+    fn rec(len: u32) -> Record {
+        Record::from_sorted(RecordId(1), 0, (0..len).map(TokenId).collect())
+    }
+
+    #[test]
+    fn wire_bytes_scale_with_tokens() {
+        let now = Instant::now();
+        let small = JoinMsg::Probe(RecordMsg::solo(rec(2), now));
+        let large = JoinMsg::Index(RecordMsg::solo(rec(100), now));
+        assert_eq!(small.wire_bytes(), 1 + 8 + 8 + 4 + 8);
+        assert_eq!(large.wire_bytes(), 1 + 8 + 8 + 4 + 400);
+    }
+
+    #[test]
+    fn bi_stream_payloads_cost_a_side_byte() {
+        let m = JoinMsg::Probe(RecordMsg {
+            record: rec(2),
+            ingest: Instant::now(),
+            side: Some(Side::Left),
+        });
+        assert_eq!(m.wire_bytes(), 1 + 8 + 8 + 4 + 8 + 1);
+    }
+
+    #[test]
+    fn result_is_fixed_size() {
+        let m = JoinMsg::Result {
+            pair: MatchPair {
+                earlier: RecordId(0),
+                later: RecordId(1),
+                similarity: 0.9,
+            },
+            ingest: Instant::now(),
+        };
+        assert_eq!(m.wire_bytes(), 25);
+        assert!(m.record().is_none());
+        assert!(m.payload().is_none());
+    }
+
+    #[test]
+    fn record_accessor() {
+        let m = JoinMsg::ProbeAndIndex(RecordMsg::solo(rec(3), Instant::now()));
+        assert_eq!(m.record().unwrap().len(), 3);
+        assert!(m.payload().unwrap().side.is_none());
+    }
+}

@@ -1,0 +1,171 @@
+//! The local-join cost model behind load-aware partitioning.
+//!
+//! Key observation: under length-based routing, the work a joiner performs
+//! decomposes *per indexed length*. A probe of length `ℓp` is shipped to
+//! every partition intersecting `[min_len(ℓp), max_len(ℓp)]` and, at each,
+//! pays filtering/verification cost against the records indexed there. We
+//! therefore attribute to each indexed length `ℓ` the total cost mass
+//!
+//! ```text
+//! H(ℓ) = Σ_{ℓp : ℓ ∈ [min_len(ℓp), max_len(ℓp)]}  f(ℓp) · f(ℓ) · c(ℓp, ℓ)
+//!        + c_index · f(ℓ)
+//! ```
+//!
+//! with `c(ℓp, ℓ) = ℓp + ℓ` (a merge-verification proxy) and `f` the length
+//! histogram. The load of a partition `[a, b]` is then simply
+//! `Σ_{ℓ=a}^{b} H(ℓ)` — additive over lengths — which turns minimax
+//! partitioning into a classic contiguous 1-D balancing problem.
+//!
+//! `H` is computed in O(L) (plus the histogram pass) using difference
+//! arrays for the constant and linear terms of each probe's range update.
+
+use crate::histogram::LengthHistogram;
+use ssj_core::Threshold;
+
+/// Relative cost of indexing one record vs. one verification token step.
+const INDEX_COST_WEIGHT: f64 = 2.0;
+
+/// Per-indexed-length cost mass, with prefix sums for O(1) range loads.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// `h[ℓ]` — cost mass attributed to indexed length ℓ.
+    h: Vec<f64>,
+    /// `prefix[ℓ] = Σ_{x ≤ ℓ} h[x]` (prefix[0] = 0).
+    prefix: Vec<f64>,
+    max_len: usize,
+}
+
+impl CostModel {
+    /// Derives the model from a histogram under a threshold. `max_len`
+    /// bounds the length domain (lengths above it are clamped by routing).
+    pub fn build(hist: &LengthHistogram, threshold: Threshold, max_len: usize) -> Self {
+        let max_len = max_len.max(hist.max_len()).max(1);
+        // Difference arrays for Σ f(ℓp)·ℓp (constant term) and Σ f(ℓp)
+        // (coefficient of ℓ) over each probe's admissible index range.
+        let mut const_diff = vec![0.0f64; max_len + 2];
+        let mut coeff_diff = vec![0.0f64; max_len + 2];
+        for lp in 1..=max_len {
+            let f = hist.count(lp) as f64;
+            if f == 0.0 {
+                continue;
+            }
+            let lo = threshold.min_len(lp).min(max_len);
+            let hi = threshold.max_len_clamped(lp, max_len);
+            if lo > hi {
+                continue;
+            }
+            const_diff[lo] += f * lp as f64;
+            const_diff[hi + 1] -= f * lp as f64;
+            coeff_diff[lo] += f;
+            coeff_diff[hi + 1] -= f;
+        }
+
+        let mut h = vec![0.0f64; max_len + 1];
+        let (mut const_acc, mut coeff_acc) = (0.0f64, 0.0f64);
+        for l in 1..=max_len {
+            const_acc += const_diff[l];
+            coeff_acc += coeff_diff[l];
+            let f_l = hist.count(l) as f64;
+            let probe_mass = f_l * (const_acc + coeff_acc * l as f64);
+            let index_mass = INDEX_COST_WEIGHT * f_l * l as f64;
+            h[l] = probe_mass + index_mass;
+        }
+
+        let mut prefix = vec![0.0f64; max_len + 2];
+        for l in 1..=max_len {
+            prefix[l + 1] = prefix[l] + h[l];
+        }
+        Self {
+            h,
+            prefix,
+            max_len,
+        }
+    }
+
+    /// The length-domain size the model covers.
+    pub fn max_len(&self) -> usize {
+        self.max_len
+    }
+
+    /// Cost mass at one indexed length.
+    #[inline]
+    pub fn at(&self, len: usize) -> f64 {
+        self.h.get(len).copied().unwrap_or(0.0)
+    }
+
+    /// Total cost mass of the length range `[lo, hi]` (inclusive), O(1).
+    #[inline]
+    pub fn range_load(&self, lo: usize, hi: usize) -> f64 {
+        if lo > hi || lo > self.max_len {
+            return 0.0;
+        }
+        let hi = hi.min(self.max_len);
+        self.prefix[hi + 1] - self.prefix[lo]
+    }
+
+    /// Total cost mass of the whole domain.
+    pub fn total(&self) -> f64 {
+        self.prefix[self.max_len + 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssj_core::Threshold;
+
+    fn hist(pairs: &[(usize, u64)]) -> LengthHistogram {
+        let mut h = LengthHistogram::new();
+        for &(len, n) in pairs {
+            for _ in 0..n {
+                h.add(len);
+            }
+        }
+        h
+    }
+
+    #[test]
+    fn range_load_matches_pointwise_sum() {
+        let h = hist(&[(2, 10), (5, 3), (9, 7)]);
+        let m = CostModel::build(&h, Threshold::jaccard(0.8), 12);
+        let direct: f64 = (3..=9).map(|l| m.at(l)).sum();
+        assert!((m.range_load(3, 9) - direct).abs() < 1e-9);
+        assert!((m.range_load(1, 12) - m.total()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mass_concentrates_where_records_are() {
+        let h = hist(&[(10, 100), (50, 1)]);
+        let m = CostModel::build(&h, Threshold::jaccard(0.8), 64);
+        assert!(m.at(10) > m.at(50));
+        assert_eq!(m.at(30), 0.0, "no records near length 30 at tau=0.8");
+    }
+
+    #[test]
+    fn cross_length_probes_are_attributed() {
+        // tau=0.5: a probe of length 10 reaches indexed lengths [5, 20].
+        let h = hist(&[(10, 10), (18, 10)]);
+        let m = CostModel::build(&h, Threshold::jaccard(0.5), 32);
+        // Length 18 receives probe mass from both length-10 and length-18
+        // records.
+        assert!(m.at(18) > 0.0);
+        // The exact value: f(18)·[f(10)(10+18) + f(18)(18+18)] + index.
+        let expected = 10.0 * (10.0 * 28.0 + 10.0 * 36.0) + 2.0 * 10.0 * 18.0;
+        assert!((m.at(18) - expected).abs() < 1e-6, "at(18)={}", m.at(18));
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let m = CostModel::build(&LengthHistogram::new(), Threshold::jaccard(0.7), 16);
+        assert_eq!(m.total(), 0.0);
+        assert_eq!(m.range_load(1, 16), 0.0);
+    }
+
+    #[test]
+    fn degenerate_ranges() {
+        let h = hist(&[(4, 5)]);
+        let m = CostModel::build(&h, Threshold::jaccard(0.9), 8);
+        assert_eq!(m.range_load(5, 3), 0.0);
+        assert_eq!(m.range_load(100, 200), 0.0);
+    }
+}

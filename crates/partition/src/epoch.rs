@@ -1,0 +1,346 @@
+//! Online repartitioning under drift.
+//!
+//! A length partition computed from a calibration sample goes stale when
+//! the stream's length distribution drifts. The epoched partitioner
+//! maintains *versioned plans*:
+//!
+//! * new records are always indexed under the **newest** plan;
+//! * probes target the union of the matching ranges of **every active**
+//!   plan, because older records were routed under older plans;
+//! * an old plan is retired once every record it routed has left the
+//!   sliding window — at which point probing reverts to a single plan and
+//!   the transition is complete.
+//!
+//! With an unbounded window old plans never expire (their records remain
+//! joinable forever); the partitioner still works but keeps all plans, so
+//! repartitioning is only *useful* with a bounded window.
+
+use crate::cost::CostModel;
+use crate::histogram::LengthHistogram;
+use crate::partitioner::{load_aware, LengthPartition};
+use ssj_core::{Threshold, Window};
+use ssj_text::Record;
+use std::collections::VecDeque;
+
+/// Drift-detection and installation policy.
+#[derive(Debug, Clone, Copy)]
+pub struct EpochConfig {
+    /// Records between drift checks.
+    pub check_every: u64,
+    /// Install a new plan when the current plan's max load exceeds the
+    /// optimal plan's max load by this factor (on the fresh histogram).
+    pub rebalance_factor: f64,
+    /// Maximum concurrently active plans; installation is deferred while at
+    /// the cap (correctness requires every plan with live records to stay
+    /// probe-visible).
+    pub max_plans: usize,
+}
+
+impl Default for EpochConfig {
+    fn default() -> Self {
+        Self {
+            check_every: 10_000,
+            rebalance_factor: 1.3,
+            max_plans: 4,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Plan {
+    partition: LengthPartition,
+    version: u32,
+    /// Set when a newer plan replaced this one: (id, ts) of the switch
+    /// point. Records routed under this plan all have smaller ids.
+    superseded: Option<(u64, u64)>,
+}
+
+/// A versioned, drift-reactive length partitioner.
+#[derive(Debug)]
+pub struct EpochedPartitioner {
+    threshold: Threshold,
+    window: Window,
+    k: usize,
+    cfg: EpochConfig,
+    plans: VecDeque<Plan>,
+    hist: LengthHistogram,
+    seen_since_check: u64,
+    versions_installed: u32,
+}
+
+impl EpochedPartitioner {
+    /// Starts with an initial plan (e.g. from a calibration sample).
+    pub fn new(
+        threshold: Threshold,
+        window: Window,
+        initial: LengthPartition,
+        cfg: EpochConfig,
+    ) -> Self {
+        assert!(cfg.check_every > 0, "check_every must be positive");
+        assert!(cfg.rebalance_factor >= 1.0, "rebalance_factor must be >= 1");
+        assert!(cfg.max_plans >= 1, "need room for at least one plan");
+        let k = initial.k();
+        let mut plans = VecDeque::new();
+        plans.push_back(Plan {
+            partition: initial,
+            version: 0,
+            superseded: None,
+        });
+        Self {
+            threshold,
+            window,
+            k,
+            cfg,
+            plans,
+            hist: LengthHistogram::new(),
+            seen_since_check: 0,
+            versions_installed: 1,
+        }
+    }
+
+    /// Number of joiners the plans route to.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The currently newest plan's version.
+    pub fn current_version(&self) -> u32 {
+        self.plans.back().expect("always one plan").version
+    }
+
+    /// Number of plans still probe-visible.
+    pub fn active_plans(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// The newest plan (used for index routing).
+    pub fn current_partition(&self) -> &LengthPartition {
+        &self.plans.back().expect("always one plan").partition
+    }
+
+    /// Joiner that must index a record of length `len`.
+    pub fn index_partition(&self, len: usize) -> usize {
+        self.current_partition().partition_of(len)
+    }
+
+    /// Sorted, deduplicated joiners a record of length `len` must probe —
+    /// the union over every active plan of the partitions intersecting the
+    /// length-filter interval.
+    pub fn probe_partitions(&self, len: usize) -> Vec<usize> {
+        let lo = self.threshold.min_len(len);
+        let hi = self.threshold.max_len(len);
+        let mut targets = vec![false; self.k];
+        for plan in &self.plans {
+            let (a, b) = plan.partition.probe_targets(lo, hi);
+            for t in targets.iter_mut().take(b + 1).skip(a) {
+                *t = true;
+            }
+        }
+        targets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &t)| t.then_some(i))
+            .collect()
+    }
+
+    /// Feeds one arriving record: updates the drift histogram, retires
+    /// expired plans, and possibly installs a new plan. Returns the new
+    /// version when one was installed.
+    pub fn observe(&mut self, record: &Record) -> Option<u32> {
+        let (id, ts) = (record.id().0, record.timestamp());
+        self.retire_expired(id, ts);
+        self.hist.add(record.len());
+        self.seen_since_check += 1;
+        if self.seen_since_check < self.cfg.check_every {
+            return None;
+        }
+        self.seen_since_check = 0;
+        let installed = self.maybe_install(id, ts);
+        self.hist.clear();
+        installed
+    }
+
+    fn retire_expired(&mut self, now_id: u64, now_ts: u64) {
+        while self.plans.len() > 1 {
+            let front = self.plans.front().expect("non-empty");
+            let Some((sup_id, sup_ts)) = front.superseded else {
+                break;
+            };
+            // Every record routed under this plan has id < sup_id and
+            // ts <= sup_ts; the newest such possible record is
+            // (sup_id - 1, sup_ts).
+            if self
+                .window
+                .expired(sup_id.saturating_sub(1), sup_ts, now_id, now_ts)
+            {
+                self.plans.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn maybe_install(&mut self, now_id: u64, now_ts: u64) -> Option<u32> {
+        if self.plans.len() >= self.cfg.max_plans || self.hist.is_empty() {
+            return None;
+        }
+        let cost = CostModel::build(&self.hist, self.threshold, self.hist.max_len());
+        if cost.total() <= 0.0 {
+            return None;
+        }
+        let optimal = load_aware(&cost, self.k);
+        let maxload = |p: &LengthPartition| p.loads(&cost).into_iter().fold(0.0f64, f64::max);
+        let current = maxload(self.current_partition());
+        let best = maxload(&optimal);
+        if best <= 0.0 || current <= self.cfg.rebalance_factor * best {
+            return None;
+        }
+        let version = self.versions_installed;
+        self.versions_installed += 1;
+        self.plans
+            .back_mut()
+            .expect("always one plan")
+            .superseded = Some((now_id, now_ts));
+        self.plans.push_back(Plan {
+            partition: optimal,
+            version,
+            superseded: None,
+        });
+        Some(version)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partitioner::equal_width;
+    use ssj_text::{RecordId, TokenId};
+
+    fn rec(id: u64, len: usize) -> Record {
+        Record::from_sorted(
+            RecordId(id),
+            id, // ts = id for simplicity
+            (0..len as u32).map(TokenId).collect(),
+        )
+    }
+
+    fn partitioner(window: Window, check_every: u64) -> EpochedPartitioner {
+        EpochedPartitioner::new(
+            Threshold::jaccard(0.8),
+            window,
+            equal_width(64, 4),
+            EpochConfig {
+                check_every,
+                rebalance_factor: 1.2,
+                max_plans: 4,
+            },
+        )
+    }
+
+    /// Lengths 2..=8 in rotation: under equal_width(64, 4) every record
+    /// lands in partition 0, while the optimal plan spreads the seven
+    /// lengths across all four — a large, fixable imbalance.
+    fn drifted_len(id: u64) -> usize {
+        2 + (id as usize % 7)
+    }
+
+    #[test]
+    fn stable_stream_never_repartitions() {
+        // Start from the load-aware optimum of the distribution we then
+        // stream: nothing to improve, so no new plan may be installed.
+        use crate::cost::CostModel;
+        use crate::partitioner::load_aware;
+        let mut h = crate::histogram::LengthHistogram::new();
+        for id in 0..1000u64 {
+            h.add(drifted_len(id));
+        }
+        let t = Threshold::jaccard(0.8);
+        let initial = load_aware(&CostModel::build(&h, t, h.max_len()), 4);
+        let mut p = EpochedPartitioner::new(
+            t,
+            Window::Count(100),
+            initial,
+            EpochConfig {
+                check_every: 50,
+                rebalance_factor: 1.2,
+                max_plans: 4,
+            },
+        );
+        for id in 0..500u64 {
+            assert_eq!(p.observe(&rec(id, drifted_len(id))), None);
+        }
+        assert_eq!(p.active_plans(), 1);
+        assert_eq!(p.current_version(), 0);
+    }
+
+    #[test]
+    fn skewed_stream_triggers_repartition() {
+        let mut p = partitioner(Window::Count(100), 100);
+        let mut installed = false;
+        for id in 0..300u64 {
+            installed |= p.observe(&rec(id, drifted_len(id))).is_some();
+        }
+        assert!(installed, "drift should trigger a new plan");
+        assert!(p.current_version() >= 1);
+    }
+
+    #[test]
+    fn old_plans_expire_with_window() {
+        let mut p = partitioner(Window::Count(50), 100);
+        for id in 0..120u64 {
+            p.observe(&rec(id, drifted_len(id)));
+        }
+        assert!(p.active_plans() >= 2, "transition in progress");
+        // Keep streaming long enough for the old plan's records to expire.
+        for id in 120..600u64 {
+            p.observe(&rec(id, drifted_len(id)));
+        }
+        assert_eq!(p.active_plans(), 1, "old plan retired after window");
+    }
+
+    #[test]
+    fn probe_targets_cover_all_active_plans() {
+        let mut p = partitioner(Window::Count(1000), 100);
+        for id in 0..150u64 {
+            p.observe(&rec(id, drifted_len(id)));
+        }
+        assert!(p.active_plans() >= 2);
+        // Under the old equal-width plan every short length lives in
+        // partition 0; the new plan spreads them. The union must span both.
+        let targets = p.probe_partitions(5);
+        let new_idx = p.index_partition(5);
+        assert!(targets.contains(&new_idx));
+        assert!(targets.contains(&0), "old plan's partition stays probed");
+        // Sorted and deduplicated.
+        assert!(targets.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn unbounded_window_keeps_plans() {
+        let mut p = partitioner(Window::Unbounded, 100);
+        for id in 0..1000u64 {
+            p.observe(&rec(id, drifted_len(id)));
+        }
+        assert!(p.active_plans() >= 2, "plans can never expire");
+    }
+
+    #[test]
+    fn max_plans_defers_installation() {
+        let mut p = EpochedPartitioner::new(
+            Threshold::jaccard(0.8),
+            Window::Unbounded, // nothing ever expires
+            equal_width(64, 4),
+            EpochConfig {
+                check_every: 50,
+                rebalance_factor: 1.0,
+                max_plans: 2,
+            },
+        );
+        for id in 0..2000u64 {
+            // Alternate drift targets to keep asking for new plans.
+            let len = if (id / 200) % 2 == 0 { 3 } else { 60 };
+            p.observe(&rec(id, len));
+        }
+        assert!(p.active_plans() <= 2);
+    }
+}

@@ -1,0 +1,47 @@
+//! stormlite — a miniature Storm-shaped stream processing engine.
+//!
+//! The paper runs its topology (dispatcher → joiners → sink) on Apache
+//! Storm. The join algorithms only rely on Storm's dataflow contract:
+//! named components with parallel tasks, tuples routed between them by a
+//! grouping (shuffle / fields / broadcast / direct / global), per-edge FIFO
+//! order, and a completion signal. stormlite provides exactly that,
+//! in-process: one OS thread per task, bounded crossbeam channels between
+//! them (providing natural backpressure), an end-of-stream protocol, and
+//! per-task metrics (throughput, queue wait, bytes moved).
+//!
+//! ```
+//! use stormlite::{Bolt, Grouping, Message, Outbox, Topology};
+//!
+//! #[derive(Clone)]
+//! struct Num(u64);
+//! impl Message for Num {}
+//!
+//! struct Double;
+//! impl Bolt<Num> for Double {
+//!     fn execute(&mut self, msg: Num, out: &mut Outbox<Num>) {
+//!         out.emit(Num(msg.0 * 2));
+//!     }
+//! }
+//!
+//! let mut t = Topology::new();
+//! t.spout("src", (0..10u64).map(Num));
+//! t.bolt("double", 2, |_task| Double);
+//! let collected = t.collector("sink");
+//! t.wire("src", "double", Grouping::shuffle());
+//! t.wire("double", "sink", Grouping::global());
+//! let report = t.run();
+//! assert_eq!(collected.lock().len(), 10);
+//! assert!(report.total_processed() >= 10);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod grouping;
+pub mod message;
+pub mod metrics;
+pub mod topology;
+
+pub use grouping::Grouping;
+pub use message::{Bolt, CollectorBolt, Message, Outbox};
+pub use metrics::{LatencyHistogram, RunReport, TaskMetrics};
+pub use topology::Topology;

@@ -1,0 +1,277 @@
+//! Messages, bolts and the emission context.
+
+use crate::grouping::Grouping;
+use crate::metrics::TaskMetrics;
+use crossbeam::channel::Sender;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A tuple payload flowing through a topology.
+///
+/// `wire_bytes` is what the communication-cost accounting charges per hop —
+/// override it to match what a binary codec would put on the network
+/// (the default charges the in-memory size, which is only right for plain
+/// data types).
+pub trait Message: Send + Clone + 'static {
+    /// Serialized size of this message in bytes.
+    fn wire_bytes(&self) -> u64 {
+        std::mem::size_of::<Self>() as u64
+    }
+}
+
+/// The envelope moving through channels: payload plus queueing metadata,
+/// or the end-of-stream marker.
+#[derive(Debug)]
+pub(crate) enum Envelope<M> {
+    /// A data tuple and the instant it was enqueued (for queue-wait
+    /// metrics).
+    Data(M, Instant),
+    /// One upstream task finished.
+    Eos,
+}
+
+/// A processing vertex: receives tuples, may emit downstream.
+pub trait Bolt<M: Message>: Send {
+    /// Handles one tuple.
+    fn execute(&mut self, msg: M, out: &mut Outbox<M>);
+
+    /// Called once, after every upstream task has finished, before the
+    /// bolt's own end-of-stream propagates. Flush buffered state here.
+    fn finish(&mut self, out: &mut Outbox<M>) {
+        let _ = out;
+    }
+}
+
+/// A terminal bolt collecting every received tuple into a shared vector.
+pub struct CollectorBolt<M> {
+    out: Arc<Mutex<Vec<M>>>,
+}
+
+impl<M> CollectorBolt<M> {
+    /// A collector writing into `out`.
+    pub fn new(out: Arc<Mutex<Vec<M>>>) -> Self {
+        Self { out }
+    }
+}
+
+impl<M: Message> Bolt<M> for CollectorBolt<M> {
+    fn execute(&mut self, msg: M, _out: &mut Outbox<M>) {
+        self.out.lock().push(msg);
+    }
+}
+
+/// One outgoing wire from a task: the grouping plus a sender per
+/// destination task.
+pub(crate) struct OutWire<M> {
+    pub(crate) grouping: Grouping<M>,
+    pub(crate) senders: Vec<Sender<Envelope<M>>>,
+    pub(crate) rr_next: usize,
+}
+
+/// The emission context handed to bolts (and used by spout drivers).
+///
+/// `emit` routes a tuple along every outgoing non-direct wire according to
+/// its grouping; `emit_direct` addresses a specific task on the direct
+/// wires. Emission blocks when a downstream queue is full — that is the
+/// backpressure path.
+pub struct Outbox<M: Message> {
+    pub(crate) wires: Vec<OutWire<M>>,
+    pub(crate) task_index: usize,
+    pub(crate) metrics: TaskMetrics,
+}
+
+impl<M: Message> Outbox<M> {
+    /// This task's index within its component (0-based).
+    pub fn task_index(&self) -> usize {
+        self.task_index
+    }
+
+    /// Emits along all non-direct outgoing wires.
+    pub fn emit(&mut self, msg: M) {
+        let now = Instant::now();
+        let n_wires = self.wires.len();
+        for w in 0..n_wires {
+            let wire = &mut self.wires[w];
+            match &wire.grouping {
+                Grouping::Direct => continue,
+                Grouping::Shuffle => {
+                    let t = wire.rr_next % wire.senders.len();
+                    wire.rr_next = wire.rr_next.wrapping_add(1);
+                    let m = msg.clone();
+                    self.metrics.msgs_out += 1;
+                    self.metrics.bytes_out += m.wire_bytes();
+                    wire.senders[t]
+                        .send(Envelope::Data(m, now))
+                        .expect("receiver alive until EOS");
+                }
+                Grouping::Global => {
+                    let m = msg.clone();
+                    self.metrics.msgs_out += 1;
+                    self.metrics.bytes_out += m.wire_bytes();
+                    wire.senders[0]
+                        .send(Envelope::Data(m, now))
+                        .expect("receiver alive until EOS");
+                }
+                Grouping::Fields(f) => {
+                    let t = (f(&msg) % wire.senders.len() as u64) as usize;
+                    let m = msg.clone();
+                    self.metrics.msgs_out += 1;
+                    self.metrics.bytes_out += m.wire_bytes();
+                    wire.senders[t]
+                        .send(Envelope::Data(m, now))
+                        .expect("receiver alive until EOS");
+                }
+                Grouping::Broadcast => {
+                    for t in 0..wire.senders.len() {
+                        let m = msg.clone();
+                        self.metrics.msgs_out += 1;
+                        self.metrics.bytes_out += m.wire_bytes();
+                        wire.senders[t]
+                            .send(Envelope::Data(m, now))
+                            .expect("receiver alive until EOS");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Emits to one specific task along every direct outgoing wire.
+    ///
+    /// # Panics
+    /// Panics if no outgoing wire uses [`Grouping::Direct`] or the task
+    /// index is out of range.
+    pub fn emit_direct(&mut self, task: usize, msg: M) {
+        let now = Instant::now();
+        let mut hit = false;
+        for wire in &mut self.wires {
+            if !matches!(wire.grouping, Grouping::Direct) {
+                continue;
+            }
+            hit = true;
+            let m = msg.clone();
+            self.metrics.msgs_out += 1;
+            self.metrics.bytes_out += m.wire_bytes();
+            wire.senders[task]
+                .send(Envelope::Data(m, now))
+                .expect("receiver alive until EOS");
+        }
+        assert!(hit, "emit_direct requires a Direct-grouped outgoing wire");
+    }
+
+    pub(crate) fn send_eos(&mut self) {
+        for wire in &mut self.wires {
+            for s in &wire.senders {
+                s.send(Envelope::Eos).expect("receiver alive until EOS");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct N(u64);
+    impl Message for N {
+        fn wire_bytes(&self) -> u64 {
+            8
+        }
+    }
+
+    fn outbox_with(grouping: Grouping<N>, n: usize) -> (Outbox<N>, Vec<crossbeam::channel::Receiver<Envelope<N>>>) {
+        let mut senders = Vec::new();
+        let mut receivers = Vec::new();
+        for _ in 0..n {
+            let (s, r) = unbounded();
+            senders.push(s);
+            receivers.push(r);
+        }
+        (
+            Outbox {
+                wires: vec![OutWire {
+                    grouping,
+                    senders,
+                    rr_next: 0,
+                }],
+                task_index: 0,
+                metrics: TaskMetrics::default(),
+            },
+            receivers,
+        )
+    }
+
+    fn data_count(r: &crossbeam::channel::Receiver<Envelope<N>>) -> usize {
+        r.try_iter()
+            .filter(|e| matches!(e, Envelope::Data(..)))
+            .count()
+    }
+
+    #[test]
+    fn shuffle_round_robins() {
+        let (mut o, rs) = outbox_with(Grouping::shuffle(), 3);
+        for i in 0..9 {
+            o.emit(N(i));
+        }
+        for r in &rs {
+            assert_eq!(data_count(r), 3);
+        }
+        assert_eq!(o.metrics.msgs_out, 9);
+        assert_eq!(o.metrics.bytes_out, 72);
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone() {
+        let (mut o, rs) = outbox_with(Grouping::broadcast(), 4);
+        o.emit(N(7));
+        for r in &rs {
+            assert_eq!(data_count(r), 1);
+        }
+        assert_eq!(o.metrics.msgs_out, 4);
+    }
+
+    #[test]
+    fn fields_grouping_is_sticky() {
+        let (mut o, rs) = outbox_with(Grouping::fields(|m: &N| m.0), 2);
+        for _ in 0..5 {
+            o.emit(N(4)); // 4 % 2 == 0
+        }
+        assert_eq!(data_count(&rs[0]), 5);
+        assert_eq!(data_count(&rs[1]), 0);
+    }
+
+    #[test]
+    fn global_goes_to_task_zero() {
+        let (mut o, rs) = outbox_with(Grouping::global(), 3);
+        o.emit(N(1));
+        assert_eq!(data_count(&rs[0]), 1);
+        assert_eq!(data_count(&rs[1]), 0);
+    }
+
+    #[test]
+    fn direct_targets_one_task() {
+        let (mut o, rs) = outbox_with(Grouping::Direct, 3);
+        o.emit_direct(2, N(5));
+        o.emit(N(9)); // no non-direct wires: silently routes nowhere
+        assert_eq!(data_count(&rs[0]), 0);
+        assert_eq!(data_count(&rs[2]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "Direct-grouped")]
+    fn emit_direct_without_direct_wire_panics() {
+        let (mut o, _rs) = outbox_with(Grouping::shuffle(), 2);
+        o.emit_direct(0, N(1));
+    }
+
+    #[test]
+    fn eos_fans_out() {
+        let (mut o, rs) = outbox_with(Grouping::shuffle(), 2);
+        o.send_eos();
+        for r in &rs {
+            assert!(matches!(r.try_recv().unwrap(), Envelope::Eos));
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Per-task execution metrics and a log-bucket latency histogram.
+
+use std::fmt;
+use std::time::Duration;
+
+/// A latency histogram with logarithmic (power-of-two nanosecond) buckets:
+/// constant memory, O(1) record, ~2× relative quantile error — plenty for
+/// throughput/latency reporting without external dependencies.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum_ns: u128,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: [0; 64],
+            count: 0,
+            sum_ns: 0,
+            max_ns: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample.
+    #[inline]
+    pub fn record(&mut self, latency: Duration) {
+        let ns = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let bucket = 63 - ns.max(1).leading_zeros() as usize;
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum_ns += u128::from(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency (zero when empty).
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos((self.sum_ns / u128::from(self.count)) as u64)
+    }
+
+    /// Largest recorded latency.
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_ns)
+    }
+
+    /// Approximate quantile (`0.0 ..= 1.0`): the upper edge of the bucket
+    /// containing the q-th sample.
+    pub fn quantile(&self, q: f64) -> Duration {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Duration::from_nanos(1u64 << (b + 1).min(63));
+            }
+        }
+        self.max()
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+/// Counters for one task of one component.
+#[derive(Debug, Clone, Default)]
+pub struct TaskMetrics {
+    /// Data tuples received.
+    pub msgs_in: u64,
+    /// Data tuples emitted.
+    pub msgs_out: u64,
+    /// Bytes received (per [`Message::wire_bytes`](crate::Message::wire_bytes)).
+    pub bytes_in: u64,
+    /// Bytes emitted.
+    pub bytes_out: u64,
+    /// Wall time spent inside `execute`.
+    pub busy: Duration,
+    /// Time tuples spent waiting in this task's input queue.
+    pub queue_wait: LatencyHistogram,
+}
+
+impl TaskMetrics {
+    /// Adds another task's counters into this one.
+    pub fn merge(&mut self, other: &TaskMetrics) {
+        self.msgs_in += other.msgs_in;
+        self.msgs_out += other.msgs_out;
+        self.bytes_in += other.bytes_in;
+        self.bytes_out += other.bytes_out;
+        self.busy += other.busy;
+        self.queue_wait.merge(&other.queue_wait);
+    }
+}
+
+/// The outcome of a topology run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// `(component, task_index, metrics)` for every task.
+    pub tasks: Vec<(String, usize, TaskMetrics)>,
+    /// Tasks that panicked: `(component, task_index, panic message)`. A
+    /// failed task drains (and discards) its remaining input, so the
+    /// topology always completes; results are partial.
+    pub failures: Vec<(String, usize, String)>,
+    /// Wall-clock duration from launch to full drain.
+    pub elapsed: Duration,
+}
+
+impl RunReport {
+    /// Whether every task completed without panicking.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Sum of tuples processed across all tasks.
+    pub fn total_processed(&self) -> u64 {
+        self.tasks.iter().map(|(_, _, m)| m.msgs_in).sum()
+    }
+
+    /// Sum of tuples emitted across all tasks.
+    pub fn total_emitted(&self) -> u64 {
+        self.tasks.iter().map(|(_, _, m)| m.msgs_out).sum()
+    }
+
+    /// Sum of bytes moved between tasks (counted at emission).
+    pub fn total_bytes(&self) -> u64 {
+        self.tasks.iter().map(|(_, _, m)| m.bytes_out).sum()
+    }
+
+    /// Aggregated metrics of one component across its tasks.
+    pub fn component(&self, name: &str) -> TaskMetrics {
+        let mut agg = TaskMetrics::default();
+        for (comp, _, m) in &self.tasks {
+            if comp == name {
+                agg.merge(m);
+            }
+        }
+        agg
+    }
+
+    /// Per-task `msgs_in` of one component (load-balance reporting).
+    pub fn component_task_loads(&self, name: &str) -> Vec<u64> {
+        let mut loads: Vec<(usize, u64)> = self
+            .tasks
+            .iter()
+            .filter(|(comp, _, _)| comp == name)
+            .map(|(_, task, m)| (*task, m.msgs_in))
+            .collect();
+        loads.sort_unstable();
+        loads.into_iter().map(|(_, l)| l).collect()
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<14} {:>5} {:>12} {:>12} {:>12} {:>10}",
+            "component", "task", "msgs_in", "msgs_out", "bytes_out", "busy_ms"
+        )?;
+        for (comp, task, m) in &self.tasks {
+            writeln!(
+                f,
+                "{:<14} {:>5} {:>12} {:>12} {:>12} {:>10.1}",
+                comp,
+                task,
+                m.msgs_in,
+                m.msgs_out,
+                m.bytes_out,
+                m.busy.as_secs_f64() * 1000.0
+            )?;
+        }
+        write!(f, "elapsed: {:.1} ms", self.elapsed.as_secs_f64() * 1000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_basic_stats() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_nanos(100));
+        h.record(Duration::from_nanos(200));
+        h.record(Duration::from_micros(10));
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), Duration::from_micros(10));
+        assert!(h.mean() >= Duration::from_nanos(100));
+    }
+
+    #[test]
+    fn histogram_quantiles_are_ordered() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=1000u64 {
+            h.record(Duration::from_nanos(i * 1000));
+        }
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        assert!(p50 <= p99);
+        // Log buckets: within 2x of the true values.
+        assert!(p50 >= Duration::from_nanos(500_000 / 2));
+        assert!(p99 <= Duration::from_nanos(4 * 990_000));
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.quantile(0.99), Duration::ZERO);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(Duration::from_nanos(10));
+        b.record(Duration::from_nanos(1_000_000));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), Duration::from_nanos(1_000_000));
+    }
+
+    #[test]
+    fn report_aggregation() {
+        let m1 = TaskMetrics {
+            msgs_in: 5,
+            bytes_out: 100,
+            ..TaskMetrics::default()
+        };
+        let m2 = TaskMetrics {
+            msgs_in: 7,
+            bytes_out: 50,
+            ..TaskMetrics::default()
+        };
+        let report = RunReport {
+            tasks: vec![
+                ("joiner".into(), 1, m2),
+                ("joiner".into(), 0, m1),
+                ("sink".into(), 0, TaskMetrics::default()),
+            ],
+            failures: Vec::new(),
+            elapsed: Duration::from_millis(1),
+        };
+        assert!(report.is_clean());
+        assert_eq!(report.total_processed(), 12);
+        assert_eq!(report.component("joiner").msgs_in, 12);
+        assert_eq!(report.component_task_loads("joiner"), vec![5, 7]);
+        assert_eq!(report.total_bytes(), 150);
+        let text = report.to_string();
+        assert!(text.contains("joiner"));
+    }
+}

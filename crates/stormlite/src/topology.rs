@@ -1,0 +1,654 @@
+//! Topology construction and execution.
+
+use crate::grouping::Grouping;
+use crate::message::{Bolt, CollectorBolt, Envelope, Message, OutWire, Outbox};
+use crate::metrics::{RunReport, TaskMetrics};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Instant;
+
+const DEFAULT_CHANNEL_CAPACITY: usize = 1024;
+
+enum Kind<M: Message> {
+    Spout(Option<Box<dyn Iterator<Item = M> + Send>>),
+    Bolt(Box<dyn FnMut(usize) -> Box<dyn Bolt<M>> + Send>),
+}
+
+struct Component<M: Message> {
+    name: String,
+    parallelism: usize,
+    kind: Kind<M>,
+}
+
+struct WireDef<M> {
+    from: usize,
+    to: usize,
+    grouping: Grouping<M>,
+}
+
+/// A dataflow graph of spouts and bolts, executed with one thread per task.
+///
+/// Build with [`spout`](Self::spout) / [`bolt`](Self::bolt) /
+/// [`wire`](Self::wire), then call [`run`](Self::run); the call returns
+/// once every tuple has drained and every task has exited.
+pub struct Topology<M: Message> {
+    components: Vec<Component<M>>,
+    wires: Vec<WireDef<M>>,
+    channel_capacity: usize,
+}
+
+impl<M: Message> Default for Topology<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M: Message> Topology<M> {
+    /// An empty topology.
+    pub fn new() -> Self {
+        Self {
+            components: Vec::new(),
+            wires: Vec::new(),
+            channel_capacity: DEFAULT_CHANNEL_CAPACITY,
+        }
+    }
+
+    /// Overrides the per-task input queue capacity (backpressure depth).
+    pub fn with_channel_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity >= 1, "channels need capacity");
+        self.channel_capacity = capacity;
+        self
+    }
+
+    fn index_of(&self, name: &str) -> usize {
+        self.components
+            .iter()
+            .position(|c| c.name == name)
+            .unwrap_or_else(|| panic!("unknown component '{name}'"))
+    }
+
+    fn add(&mut self, name: &str, parallelism: usize, kind: Kind<M>) {
+        assert!(parallelism >= 1, "parallelism must be at least 1");
+        assert!(
+            self.components.iter().all(|c| c.name != name),
+            "duplicate component name '{name}'"
+        );
+        self.components.push(Component {
+            name: name.to_owned(),
+            parallelism,
+            kind,
+        });
+    }
+
+    /// Adds a source emitting the iterator's items in order (always one
+    /// task).
+    pub fn spout<I>(&mut self, name: &str, source: I)
+    where
+        I: IntoIterator<Item = M>,
+        I::IntoIter: Send + 'static,
+    {
+        self.add(
+            name,
+            1,
+            Kind::Spout(Some(Box::new(source.into_iter()))),
+        );
+    }
+
+    /// Adds a bolt with `parallelism` tasks; `factory(task_index)` builds
+    /// each task's instance.
+    pub fn bolt<B, F>(&mut self, name: &str, parallelism: usize, mut factory: F)
+    where
+        B: Bolt<M> + 'static,
+        F: FnMut(usize) -> B + Send + 'static,
+    {
+        self.add(
+            name,
+            parallelism,
+            Kind::Bolt(Box::new(move |task| Box::new(factory(task)))),
+        );
+    }
+
+    /// Adds a single-task terminal bolt collecting everything it receives;
+    /// returns the shared vector it fills.
+    pub fn collector(&mut self, name: &str) -> Arc<Mutex<Vec<M>>> {
+        let out = Arc::new(Mutex::new(Vec::new()));
+        let shared = Arc::clone(&out);
+        self.bolt(name, 1, move |_| CollectorBolt::new(Arc::clone(&shared)));
+        out
+    }
+
+    /// Connects `from` to `to` with a grouping. `to` must be a bolt.
+    pub fn wire(&mut self, from: &str, to: &str, grouping: Grouping<M>) {
+        let from = self.index_of(from);
+        let to = self.index_of(to);
+        assert!(
+            matches!(self.components[to].kind, Kind::Bolt(_)),
+            "cannot wire into a spout"
+        );
+        self.wires.push(WireDef { from, to, grouping });
+    }
+
+    fn validate(&self) {
+        // Every bolt needs input, and the graph must be acyclic.
+        for (i, c) in self.components.iter().enumerate() {
+            if matches!(c.kind, Kind::Bolt(_)) {
+                assert!(
+                    self.wires.iter().any(|w| w.to == i),
+                    "bolt '{}' has no inbound wire",
+                    c.name
+                );
+            }
+        }
+        // Kahn's algorithm for cycle detection.
+        let n = self.components.len();
+        let mut indeg = vec![0usize; n];
+        for w in &self.wires {
+            indeg[w.to] += 1;
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut visited = 0;
+        while let Some(i) = queue.pop() {
+            visited += 1;
+            for w in self.wires.iter().filter(|w| w.from == i) {
+                indeg[w.to] -= 1;
+                if indeg[w.to] == 0 {
+                    queue.push(w.to);
+                }
+            }
+        }
+        assert_eq!(visited, n, "topology contains a cycle");
+    }
+
+    /// Executes the topology to completion and returns the run report.
+    pub fn run(self) -> RunReport {
+        self.validate();
+        let n = self.components.len();
+
+        // Input channels: one per bolt task.
+        let mut senders: Vec<Vec<Sender<Envelope<M>>>> = Vec::with_capacity(n);
+        let mut receivers: Vec<Vec<Option<Receiver<Envelope<M>>>>> = Vec::with_capacity(n);
+        for c in &self.components {
+            let mut comp_senders = Vec::new();
+            let mut comp_receivers = Vec::new();
+            match c.kind {
+                Kind::Spout(_) => {}
+                Kind::Bolt(_) => {
+                    for _ in 0..c.parallelism {
+                        let (s, r) = bounded(self.channel_capacity);
+                        comp_senders.push(s);
+                        comp_receivers.push(Some(r));
+                    }
+                }
+            }
+            senders.push(comp_senders);
+            receivers.push(comp_receivers);
+        }
+
+        // Expected EOS tokens per component = sum of upstream parallelism.
+        let expected_eos: Vec<usize> = (0..n)
+            .map(|i| {
+                self.wires
+                    .iter()
+                    .filter(|w| w.to == i)
+                    .map(|w| self.components[w.from].parallelism)
+                    .sum()
+            })
+            .collect();
+
+        let build_outbox = |comp: usize, task: usize| -> Outbox<M> {
+            let wires = self
+                .wires
+                .iter()
+                .filter(|w| w.from == comp)
+                .map(|w| OutWire {
+                    grouping: w.grouping.clone(),
+                    senders: senders[w.to].clone(),
+                    // Stagger round-robin start by task to avoid lockstep.
+                    rr_next: task,
+                })
+                .collect();
+            Outbox {
+                wires,
+                task_index: task,
+                metrics: TaskMetrics::default(),
+            }
+        };
+
+        let started = Instant::now();
+        let mut handles = Vec::new();
+        for (i, c) in self.components.into_iter().enumerate() {
+            match c.kind {
+                Kind::Spout(mut source) => {
+                    let mut outbox = build_outbox(i, 0);
+                    let name = c.name.clone();
+                    let source = source.take().expect("spout source present");
+                    handles.push((
+                        c.name,
+                        0usize,
+                        std::thread::Builder::new()
+                            .name(format!("{name}-0"))
+                            .spawn(move || run_spout(source, &mut outbox))
+                            .expect("spawn spout"),
+                    ));
+                }
+                Kind::Bolt(mut factory) => {
+                    let comp_receivers = std::mem::take(&mut receivers[i]);
+                    for (task, rx_slot) in comp_receivers.into_iter().enumerate() {
+                        let mut outbox = build_outbox(i, task);
+                        let rx = rx_slot.expect("receiver unclaimed");
+                        let mut bolt = factory(task);
+                        let expected = expected_eos[i];
+                        let name = c.name.clone();
+                        handles.push((
+                            c.name.clone(),
+                            task,
+                            std::thread::Builder::new()
+                                .name(format!("{name}-{task}"))
+                                .spawn(move || run_bolt(&mut *bolt, rx, &mut outbox, expected))
+                                .expect("spawn bolt"),
+                        ));
+                    }
+                }
+            }
+        }
+        // The main thread keeps no senders: drop the matrices so channels
+        // close with their owning tasks.
+        drop(senders);
+        drop(receivers);
+
+        let mut tasks = Vec::new();
+        let mut failures = Vec::new();
+        for (name, task, handle) in handles {
+            let (metrics, failure) = handle.join().expect("task thread itself never panics");
+            if let Some(msg) = failure {
+                failures.push((name.clone(), task, msg));
+            }
+            tasks.push((name, task, metrics));
+        }
+        RunReport {
+            tasks,
+            failures,
+            elapsed: started.elapsed(),
+        }
+    }
+}
+
+fn run_spout<M: Message>(
+    source: Box<dyn Iterator<Item = M> + Send>,
+    outbox: &mut Outbox<M>,
+) -> (TaskMetrics, Option<String>) {
+    let mut source = source;
+    let mut failure = None;
+    loop {
+        // Each pull is isolated: a panicking source stops emitting but the
+        // topology still receives EOS and drains cleanly.
+        let next = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| source.next()));
+        match next {
+            Ok(Some(msg)) => outbox.emit(msg),
+            Ok(None) => break,
+            Err(panic) => {
+                failure = Some(panic_message(panic));
+                break;
+            }
+        }
+    }
+    outbox.send_eos();
+    (std::mem::take(&mut outbox.metrics), failure)
+}
+
+/// Renders a caught panic payload for the run report.
+fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}
+
+fn run_bolt<M: Message>(
+    bolt: &mut dyn Bolt<M>,
+    rx: Receiver<Envelope<M>>,
+    outbox: &mut Outbox<M>,
+    expected_eos: usize,
+) -> (TaskMetrics, Option<String>) {
+    let mut eos_seen = 0;
+    let mut failure: Option<String> = None;
+    while let Ok(envelope) = rx.recv() {
+        match envelope {
+            Envelope::Data(msg, sent_at) => {
+                outbox.metrics.queue_wait.record(sent_at.elapsed());
+                outbox.metrics.msgs_in += 1;
+                outbox.metrics.bytes_in += msg.wire_bytes();
+                if failure.is_some() {
+                    // A failed bolt keeps draining its queue so upstream
+                    // senders never block on a dead consumer; tuples are
+                    // discarded.
+                    continue;
+                }
+                let t0 = Instant::now();
+                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    bolt.execute(msg, outbox)
+                }));
+                outbox.metrics.busy += t0.elapsed();
+                if let Err(panic) = r {
+                    failure = Some(panic_message(panic));
+                }
+            }
+            Envelope::Eos => {
+                eos_seen += 1;
+                if eos_seen == expected_eos {
+                    if failure.is_none() {
+                        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            bolt.finish(outbox)
+                        }));
+                        if let Err(panic) = r {
+                            failure = Some(panic_message(panic));
+                        }
+                    }
+                    outbox.send_eos();
+                    break;
+                }
+            }
+        }
+    }
+    (std::mem::take(&mut outbox.metrics), failure)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct N(u64);
+    impl Message for N {
+        fn wire_bytes(&self) -> u64 {
+            8
+        }
+    }
+
+    struct AddOne;
+    impl Bolt<N> for AddOne {
+        fn execute(&mut self, msg: N, out: &mut Outbox<N>) {
+            out.emit(N(msg.0 + 1));
+        }
+    }
+
+    /// Buffers everything; emits on finish (tests the flush path).
+    struct BufferAll {
+        buf: Vec<N>,
+    }
+    impl Bolt<N> for BufferAll {
+        fn execute(&mut self, msg: N, _out: &mut Outbox<N>) {
+            self.buf.push(msg);
+        }
+        fn finish(&mut self, out: &mut Outbox<N>) {
+            for m in self.buf.drain(..) {
+                out.emit(m);
+            }
+        }
+    }
+
+    #[test]
+    fn linear_pipeline() {
+        let mut t = Topology::new();
+        t.spout("src", (0..100u64).map(N));
+        t.bolt("inc", 4, |_| AddOne);
+        let out = t.collector("sink");
+        t.wire("src", "inc", Grouping::shuffle());
+        t.wire("inc", "sink", Grouping::global());
+        let report = t.run();
+        let mut values: Vec<u64> = out.lock().iter().map(|n| n.0).collect();
+        values.sort_unstable();
+        assert_eq!(values, (1..=100u64).collect::<Vec<_>>());
+        assert_eq!(report.component("inc").msgs_in, 100);
+        assert_eq!(report.component("sink").msgs_in, 100);
+    }
+
+    #[test]
+    fn fifo_order_preserved_per_edge() {
+        // Single-task bolt chain: global order must be preserved.
+        let mut t = Topology::new();
+        t.spout("src", (0..1000u64).map(N));
+        t.bolt("inc", 1, |_| AddOne);
+        let out = t.collector("sink");
+        t.wire("src", "inc", Grouping::global());
+        t.wire("inc", "sink", Grouping::global());
+        t.run();
+        let values: Vec<u64> = out.lock().iter().map(|n| n.0).collect();
+        assert_eq!(values, (1..=1000u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fields_grouping_partitions_consistently() {
+        struct TagTask;
+        impl Bolt<N> for TagTask {
+            fn execute(&mut self, msg: N, out: &mut Outbox<N>) {
+                // Encode the handling task into the high bits.
+                out.emit(N(msg.0 | ((out.task_index() as u64) << 32)));
+            }
+        }
+        let mut t = Topology::new();
+        t.spout("src", (0..200u64).map(|i| N(i % 10)));
+        t.bolt("tag", 4, |_| TagTask);
+        let out = t.collector("sink");
+        t.wire("src", "tag", Grouping::fields(|n: &N| n.0));
+        t.wire("tag", "sink", Grouping::global());
+        t.run();
+        // Every occurrence of the same key must have been handled by the
+        // same task.
+        let mut task_of_key = std::collections::HashMap::new();
+        for n in out.lock().iter() {
+            let key = n.0 & 0xFFFF_FFFF;
+            let task = n.0 >> 32;
+            let prev = task_of_key.insert(key, task);
+            assert!(prev.is_none() || prev == Some(task), "key {key} split");
+        }
+        assert_eq!(out.lock().len(), 200);
+    }
+
+    #[test]
+    fn broadcast_duplicates_to_all_tasks() {
+        let mut t = Topology::new();
+        t.spout("src", (0..10u64).map(N));
+        t.bolt("copy", 3, |_| AddOne);
+        let out = t.collector("sink");
+        t.wire("src", "copy", Grouping::broadcast());
+        t.wire("copy", "sink", Grouping::global());
+        let report = t.run();
+        assert_eq!(out.lock().len(), 30);
+        assert_eq!(report.component("copy").msgs_in, 30);
+    }
+
+    #[test]
+    fn direct_grouping_addresses_tasks() {
+        struct Route;
+        impl Bolt<N> for Route {
+            fn execute(&mut self, msg: N, out: &mut Outbox<N>) {
+                let target = (msg.0 % 3) as usize;
+                out.emit_direct(target, msg);
+            }
+        }
+        struct Tag;
+        impl Bolt<N> for Tag {
+            fn execute(&mut self, msg: N, out: &mut Outbox<N>) {
+                out.emit(N(msg.0 * 100 + out.task_index() as u64));
+            }
+        }
+        let mut t = Topology::new();
+        t.spout("src", (0..30u64).map(N));
+        t.bolt("route", 1, |_| Route);
+        t.bolt("worker", 3, |_| Tag);
+        let out = t.collector("sink");
+        t.wire("src", "route", Grouping::global());
+        t.wire("route", "worker", Grouping::direct());
+        t.wire("worker", "sink", Grouping::global());
+        t.run();
+        for n in out.lock().iter() {
+            let original = n.0 / 100;
+            let task = n.0 % 100;
+            assert_eq!(task, original % 3, "value routed to the wrong task");
+        }
+    }
+
+    #[test]
+    fn finish_flushes_buffered_state() {
+        let mut t = Topology::new();
+        t.spout("src", (0..50u64).map(N));
+        t.bolt("buffer", 2, |_| BufferAll { buf: Vec::new() });
+        let out = t.collector("sink");
+        t.wire("src", "buffer", Grouping::shuffle());
+        t.wire("buffer", "sink", Grouping::global());
+        t.run();
+        assert_eq!(out.lock().len(), 50);
+    }
+
+    #[test]
+    fn backpressure_with_tiny_channels() {
+        let mut t = Topology::new().with_channel_capacity(1);
+        t.spout("src", (0..500u64).map(N));
+        t.bolt("inc", 1, |_| AddOne);
+        let out = t.collector("sink");
+        t.wire("src", "inc", Grouping::global());
+        t.wire("inc", "sink", Grouping::global());
+        t.run();
+        assert_eq!(out.lock().len(), 500);
+    }
+
+    #[test]
+    fn diamond_topology_merges() {
+        let mut t = Topology::new();
+        t.spout("src", (0..20u64).map(N));
+        t.bolt("left", 1, |_| AddOne);
+        t.bolt("right", 1, |_| AddOne);
+        let out = t.collector("sink");
+        t.wire("src", "left", Grouping::global());
+        t.wire("src", "right", Grouping::global());
+        t.wire("left", "sink", Grouping::global());
+        t.wire("right", "sink", Grouping::global());
+        t.run();
+        assert_eq!(out.lock().len(), 40);
+    }
+
+    #[test]
+    fn metrics_count_bytes() {
+        let mut t = Topology::new();
+        t.spout("src", (0..10u64).map(N));
+        let out = t.collector("sink");
+        t.wire("src", "sink", Grouping::global());
+        let report = t.run();
+        drop(out);
+        assert_eq!(report.component("src").bytes_out, 80);
+        assert_eq!(report.component("sink").bytes_in, 80);
+        assert!(report.component("sink").queue_wait.count() == 10);
+    }
+
+    /// Panics on one specific value, passes the rest through.
+    struct Minefield;
+    impl Bolt<N> for Minefield {
+        fn execute(&mut self, msg: N, out: &mut Outbox<N>) {
+            assert_ne!(msg.0, 13, "landed on the mine");
+            out.emit(msg);
+        }
+    }
+
+    #[test]
+    fn panicking_bolt_is_isolated_and_reported() {
+        let mut t = Topology::new();
+        t.spout("src", (0..50u64).map(N));
+        t.bolt("mine", 1, |_| Minefield);
+        let out = t.collector("sink");
+        t.wire("src", "mine", Grouping::global());
+        t.wire("mine", "sink", Grouping::global());
+        let report = t.run();
+        assert!(!report.is_clean());
+        assert_eq!(report.failures.len(), 1);
+        let (comp, task, msg) = &report.failures[0];
+        assert_eq!(comp, "mine");
+        assert_eq!(*task, 0);
+        assert!(msg.contains("mine"), "panic message propagated: {msg}");
+        // Tuples before the mine made it through; the rest were discarded.
+        assert_eq!(out.lock().len(), 13);
+    }
+
+    #[test]
+    fn panicking_bolt_does_not_stall_backpressured_upstream() {
+        // Tiny channels: if the failed task stopped draining, the spout
+        // would block forever and run() would hang.
+        let mut t = Topology::new().with_channel_capacity(1);
+        t.spout("src", (0..500u64).map(N));
+        t.bolt("mine", 1, |_| Minefield);
+        let out = t.collector("sink");
+        t.wire("src", "mine", Grouping::global());
+        t.wire("mine", "sink", Grouping::global());
+        let report = t.run();
+        assert!(!report.is_clean());
+        assert_eq!(out.lock().len(), 13);
+    }
+
+    #[test]
+    fn panicking_spout_still_drains() {
+        let source = (0..20u64).map(|i| {
+            assert!(i < 7, "spout exploded");
+            N(i)
+        });
+        let mut t = Topology::new();
+        t.spout("src", source);
+        let out = t.collector("sink");
+        t.wire("src", "sink", Grouping::global());
+        let report = t.run();
+        assert!(!report.is_clean());
+        assert_eq!(report.failures[0].0, "src");
+        assert_eq!(out.lock().len(), 7);
+    }
+
+    #[test]
+    fn clean_run_reports_no_failures() {
+        let mut t = Topology::new();
+        t.spout("src", (0..5u64).map(N));
+        let _out = t.collector("sink");
+        t.wire("src", "sink", Grouping::global());
+        assert!(t.run().is_clean());
+    }
+
+    #[test]
+    #[should_panic(expected = "no inbound wire")]
+    fn dangling_bolt_rejected() {
+        let mut t = Topology::new();
+        t.spout("src", std::iter::empty::<N>());
+        t.bolt("orphan", 1, |_| AddOne);
+        t.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn cycles_rejected() {
+        let mut t = Topology::new();
+        t.spout("src", std::iter::empty::<N>());
+        t.bolt("a", 1, |_| AddOne);
+        t.bolt("b", 1, |_| AddOne);
+        t.wire("src", "a", Grouping::global());
+        t.wire("a", "b", Grouping::global());
+        t.wire("b", "a", Grouping::global());
+        t.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate component")]
+    fn duplicate_names_rejected() {
+        let mut t = Topology::new();
+        t.spout("x", std::iter::empty::<N>());
+        t.bolt("x", 1, |_| AddOne);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot wire into a spout")]
+    fn wiring_into_spout_rejected() {
+        let mut t = Topology::new();
+        t.spout("a", std::iter::empty::<N>());
+        t.spout("b", std::iter::empty::<N>());
+        t.wire("a", "b", Grouping::global());
+    }
+}

@@ -1,0 +1,216 @@
+//! Two-pass corpus construction: tokenize → count → df-order → records.
+
+use crate::order::DfOrder;
+use crate::record::{Record, RecordBuilder, RecordId};
+use crate::token::{Dictionary, TokenId};
+use crate::tokenizer::Tokenizer;
+
+/// A fully preprocessed corpus: records with df-ordered token ids, plus the
+/// dictionary and ordering needed to map tokens back to strings.
+#[derive(Debug)]
+pub struct Corpus {
+    dictionary: Dictionary,
+    order: DfOrder,
+    records: Vec<Record>,
+}
+
+impl Corpus {
+    /// The preprocessed records, in input order, ids `0..n`.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Consumes the corpus, returning its records.
+    pub fn into_records(self) -> Vec<Record> {
+        self.records
+    }
+
+    /// The interning dictionary.
+    pub fn dictionary(&self) -> &Dictionary {
+        &self.dictionary
+    }
+
+    /// The document-frequency ordering in effect.
+    pub fn order(&self) -> &DfOrder {
+        &self.order
+    }
+
+    /// The string behind an ordered token id.
+    pub fn token_string(&self, token: TokenId) -> &str {
+        self.dictionary.string(self.order.raw_id(token))
+    }
+
+    /// Distinct-token universe size.
+    pub fn vocab_size(&self) -> usize {
+        self.dictionary.len()
+    }
+
+    /// Mean record length (0.0 for an empty corpus).
+    pub fn avg_len(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().map(|r| r.len()).sum::<usize>() as f64 / self.records.len() as f64
+    }
+
+    /// Maximum record length (0 for an empty corpus).
+    pub fn max_len(&self) -> usize {
+        self.records.iter().map(|r| r.len()).max().unwrap_or(0)
+    }
+}
+
+/// Builds a [`Corpus`] from texts in two passes: the first pass interns
+/// tokens and counts document frequencies, the second remaps every document
+/// into df-ordered, sorted, deduplicated records.
+///
+/// Documents that tokenize to nothing are dropped (and do not consume a
+/// record id).
+pub struct CorpusBuilder<T: Tokenizer> {
+    tokenizer: T,
+    dictionary: Dictionary,
+    /// Raw-id token sets per document (deduplicated, unsorted order).
+    docs: Vec<Vec<u32>>,
+    /// Per-document timestamps (parallel to `docs`).
+    timestamps: Vec<u64>,
+    scratch: Vec<u32>,
+}
+
+impl<T: Tokenizer> CorpusBuilder<T> {
+    /// A builder using `tokenizer`.
+    pub fn new(tokenizer: T) -> Self {
+        Self {
+            tokenizer,
+            dictionary: Dictionary::new(),
+            docs: Vec::new(),
+            timestamps: Vec::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Adds a document with timestamp 0.
+    pub fn add_text(mut self, text: &str) -> Self {
+        self.push_text(text, 0);
+        self
+    }
+
+    /// Adds a document with an explicit stream timestamp (milliseconds).
+    pub fn push_text(&mut self, text: &str, timestamp: u64) {
+        let scratch = &mut self.scratch;
+        scratch.clear();
+        let dict = &mut self.dictionary;
+        self.tokenizer
+            .for_each_token(text, &mut |tok| scratch.push(dict.intern(tok)));
+        if scratch.is_empty() {
+            return;
+        }
+        // Dedup within the document before counting document frequency.
+        scratch.sort_unstable();
+        scratch.dedup();
+        for &raw in scratch.iter() {
+            self.dictionary.bump_doc_freq(raw);
+        }
+        self.docs.push(scratch.clone());
+        self.timestamps.push(timestamp);
+    }
+
+    /// Number of non-empty documents added so far.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Whether no documents were added.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Finishes the second pass and produces the corpus.
+    pub fn build(self) -> Corpus {
+        let order = DfOrder::from_dictionary(&self.dictionary);
+        let mut builder = RecordBuilder::new();
+        let mut records = Vec::with_capacity(self.docs.len());
+        for (i, (doc, ts)) in self.docs.into_iter().zip(self.timestamps).enumerate() {
+            builder.extend(doc.into_iter().map(|raw| order.token_id(raw)));
+            let record = builder
+                .finish(RecordId(i as u64), ts)
+                .expect("non-empty documents only");
+            records.push(record);
+        }
+        Corpus {
+            dictionary: self.dictionary,
+            order,
+            records,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::WordTokenizer;
+
+    fn build(texts: &[&str]) -> Corpus {
+        let mut b = CorpusBuilder::new(WordTokenizer::default());
+        for (i, t) in texts.iter().enumerate() {
+            b.push_text(t, i as u64);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn records_are_sorted_by_rarity() {
+        // "common" appears in all three docs, "rare" in one.
+        let c = build(&["common rare", "common x", "common y"]);
+        let r0 = &c.records()[0];
+        // The first (rarest) token of doc 0 must be "rare", not "common".
+        assert_eq!(c.token_string(r0.tokens()[0]), "rare");
+        assert_eq!(c.token_string(*r0.tokens().last().unwrap()), "common");
+    }
+
+    #[test]
+    fn duplicate_tokens_collapse() {
+        let c = build(&["a a a b"]);
+        assert_eq!(c.records()[0].len(), 2);
+    }
+
+    #[test]
+    fn empty_documents_are_dropped() {
+        let c = build(&["a b", "---", "c"]);
+        assert_eq!(c.records().len(), 2);
+        // Ids stay dense.
+        assert_eq!(c.records()[1].id(), RecordId(1));
+    }
+
+    #[test]
+    fn timestamps_preserved() {
+        let c = build(&["a", "b"]);
+        assert_eq!(c.records()[0].timestamp(), 0);
+        assert_eq!(c.records()[1].timestamp(), 1);
+    }
+
+    #[test]
+    fn stats() {
+        let c = build(&["a b c", "a b", "zq"]);
+        assert_eq!(c.vocab_size(), 4);
+        assert_eq!(c.max_len(), 3);
+        assert!((c.avg_len() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn token_string_roundtrip() {
+        let c = build(&["alpha beta", "beta"]);
+        for r in c.records() {
+            for &t in r.tokens() {
+                let s = c.token_string(t);
+                assert!(["alpha", "beta"].contains(&s));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let c = build(&[]);
+        assert!(c.records().is_empty());
+        assert_eq!(c.avg_len(), 0.0);
+        assert_eq!(c.max_len(), 0);
+    }
+}

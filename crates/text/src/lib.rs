@@ -1,0 +1,47 @@
+//! Text preprocessing for set similarity joins.
+//!
+//! This crate turns raw text into [`Record`]s: compact, sorted sets of
+//! [`TokenId`]s ready for prefix-filter based similarity joins. The pipeline
+//! is:
+//!
+//! 1. tokenize each document ([`tokenizer`]),
+//! 2. intern tokens into a [`Dictionary`] while counting document
+//!    frequencies ([`token`]),
+//! 3. remap token ids into ascending document-frequency order
+//!    ([`order`]) — rare tokens first, which is what makes prefix
+//!    filtering selective,
+//! 4. emit records with strictly ascending token ids ([`record`]).
+//!
+//! [`corpus::CorpusBuilder`] drives the whole pipeline in two passes and is
+//! the entry point most callers want:
+//!
+//! ```
+//! use ssj_text::corpus::CorpusBuilder;
+//! use ssj_text::tokenizer::WordTokenizer;
+//!
+//! let corpus = CorpusBuilder::new(WordTokenizer::default())
+//!     .add_text("apache storm stream processing")
+//!     .add_text("stream processing, apache storm")
+//!     .build();
+//! assert_eq!(corpus.records().len(), 2);
+//! // Both documents contain the same token set, so after sorting they are equal.
+//! assert_eq!(corpus.records()[0].tokens(), corpus.records()[1].tokens());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod corpus;
+pub mod fxhash;
+pub mod loader;
+pub mod order;
+pub mod record;
+pub mod token;
+pub mod tokenizer;
+
+pub use corpus::{Corpus, CorpusBuilder};
+pub use loader::{load_lines, load_lines_from};
+pub use fxhash::{FxHashMap, FxHashSet};
+pub use record::{Record, RecordBuilder, RecordId};
+pub use token::{Dictionary, TokenId};
+pub use tokenizer::{QGramTokenizer, Tokenizer, WordTokenizer};

@@ -1,0 +1,128 @@
+//! Document-frequency token ordering.
+//!
+//! Prefix filtering is selective only when the tokens considered first are
+//! globally rare: the probability that two records share a *rare* token is
+//! low, so indexing/probing just the rare prefix of each record prunes most
+//! pairs. This module computes the canonical remapping from first-seen raw
+//! ids to ids in ascending document-frequency order (ties broken by raw id
+//! for determinism).
+
+use crate::token::{Dictionary, TokenId};
+
+/// A bijective remapping `raw id → ordered TokenId`.
+#[derive(Debug, Clone)]
+pub struct DfOrder {
+    /// `remap[raw_id] = ordered id`.
+    remap: Vec<u32>,
+    /// `inverse[ordered id] = raw_id`.
+    inverse: Vec<u32>,
+}
+
+impl DfOrder {
+    /// Builds the ordering from per-raw-id document frequencies.
+    pub fn from_doc_freqs(doc_freqs: &[u64]) -> Self {
+        let mut raw_ids: Vec<u32> = (0..doc_freqs.len() as u32).collect();
+        // Ascending frequency; ties by raw id so the order is deterministic
+        // across runs regardless of hash-map iteration.
+        raw_ids.sort_by_key(|&raw| (doc_freqs[raw as usize], raw));
+        let mut remap = vec![0u32; doc_freqs.len()];
+        for (ordered, &raw) in raw_ids.iter().enumerate() {
+            remap[raw as usize] = ordered as u32;
+        }
+        Self {
+            remap,
+            inverse: raw_ids,
+        }
+    }
+
+    /// Builds the ordering from a dictionary's document-frequency counts.
+    pub fn from_dictionary(dict: &Dictionary) -> Self {
+        Self::from_doc_freqs(dict.doc_freqs())
+    }
+
+    /// Maps a raw id to its ordered [`TokenId`].
+    #[inline]
+    pub fn token_id(&self, raw_id: u32) -> TokenId {
+        TokenId(self.remap[raw_id as usize])
+    }
+
+    /// Maps an ordered [`TokenId`] back to the raw id (for display).
+    #[inline]
+    pub fn raw_id(&self, token: TokenId) -> u32 {
+        self.inverse[token.0 as usize]
+    }
+
+    /// Number of tokens covered by the ordering.
+    pub fn len(&self) -> usize {
+        self.remap.len()
+    }
+
+    /// Whether the ordering is empty.
+    pub fn is_empty(&self) -> bool {
+        self.remap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rare_tokens_get_small_ids() {
+        // freqs: raw0=10, raw1=1, raw2=5  =>  order: raw1, raw2, raw0
+        let o = DfOrder::from_doc_freqs(&[10, 1, 5]);
+        assert_eq!(o.token_id(1), TokenId(0));
+        assert_eq!(o.token_id(2), TokenId(1));
+        assert_eq!(o.token_id(0), TokenId(2));
+    }
+
+    #[test]
+    fn ties_break_by_raw_id() {
+        let o = DfOrder::from_doc_freqs(&[3, 3, 3]);
+        assert_eq!(o.token_id(0), TokenId(0));
+        assert_eq!(o.token_id(1), TokenId(1));
+        assert_eq!(o.token_id(2), TokenId(2));
+    }
+
+    #[test]
+    fn inverse_roundtrips() {
+        let o = DfOrder::from_doc_freqs(&[7, 2, 2, 9]);
+        for raw in 0..4u32 {
+            assert_eq!(o.raw_id(o.token_id(raw)), raw);
+        }
+    }
+
+    #[test]
+    fn empty_is_fine() {
+        let o = DfOrder::from_doc_freqs(&[]);
+        assert!(o.is_empty());
+        assert_eq!(o.len(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn remap_is_a_permutation(freqs in proptest::collection::vec(0u64..100, 0..200)) {
+            let o = DfOrder::from_doc_freqs(&freqs);
+            let mut seen = vec![false; freqs.len()];
+            for raw in 0..freqs.len() as u32 {
+                let t = o.token_id(raw);
+                prop_assert!(!seen[t.0 as usize], "duplicate ordered id");
+                seen[t.0 as usize] = true;
+            }
+            prop_assert!(seen.iter().all(|&s| s));
+        }
+
+        #[test]
+        fn order_respects_frequency(freqs in proptest::collection::vec(0u64..100, 2..200)) {
+            let o = DfOrder::from_doc_freqs(&freqs);
+            for a in 0..freqs.len() as u32 {
+                for b in 0..freqs.len() as u32 {
+                    if freqs[a as usize] < freqs[b as usize] {
+                        prop_assert!(o.token_id(a) < o.token_id(b));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Token identifiers and the string-interning dictionary.
+
+use crate::fxhash::FxHashMap;
+use std::fmt;
+
+/// A compact token identifier.
+///
+/// The numeric order of `TokenId`s is the *processing order* of the join:
+/// after a corpus is built with [document-frequency ordering](crate::order),
+/// a smaller id means a globally rarer token. Records store their tokens
+/// sorted ascending by `TokenId`, so the first few tokens of a record are
+/// its rarest — exactly the tokens prefix filtering wants to index.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TokenId(pub u32);
+
+impl TokenId {
+    /// The raw 32-bit value.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for TokenId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// An interning dictionary mapping token strings to dense raw ids.
+///
+/// Raw ids are assigned in first-seen order; [`crate::order::DfOrder`]
+/// remaps them into document-frequency order once counting is complete.
+/// The dictionary also tracks the *document frequency* of each token: the
+/// number of distinct documents the token appeared in (not total
+/// occurrences), which is the statistic prefix ordering needs.
+#[derive(Debug, Default, Clone)]
+pub struct Dictionary {
+    by_string: FxHashMap<Box<str>, u32>,
+    strings: Vec<Box<str>>,
+    doc_freq: Vec<u64>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `token`, returning its raw id. Does not touch frequencies.
+    pub fn intern(&mut self, token: &str) -> u32 {
+        if let Some(&id) = self.by_string.get(token) {
+            return id;
+        }
+        let id = self.strings.len() as u32;
+        let boxed: Box<str> = token.into();
+        self.strings.push(boxed.clone());
+        self.doc_freq.push(0);
+        self.by_string.insert(boxed, id);
+        id
+    }
+
+    /// Records one document-level occurrence of the raw id.
+    ///
+    /// Call at most once per (token, document) pair; [`crate::corpus`]
+    /// deduplicates tokens within a document before counting.
+    pub fn bump_doc_freq(&mut self, raw_id: u32) {
+        self.doc_freq[raw_id as usize] += 1;
+    }
+
+    /// Looks up the raw id of a token without interning it.
+    pub fn lookup(&self, token: &str) -> Option<u32> {
+        self.by_string.get(token).copied()
+    }
+
+    /// The token string for a raw id.
+    pub fn string(&self, raw_id: u32) -> &str {
+        &self.strings[raw_id as usize]
+    }
+
+    /// Document frequency of a raw id.
+    pub fn doc_freq(&self, raw_id: u32) -> u64 {
+        self.doc_freq[raw_id as usize]
+    }
+
+    /// All document frequencies, indexed by raw id.
+    pub fn doc_freqs(&self) -> &[u64] {
+        &self.doc_freq
+    }
+
+    /// Number of distinct tokens interned so far.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether no token has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.intern("storm");
+        let b = d.intern("storm");
+        assert_eq!(a, b);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered_by_first_seen() {
+        let mut d = Dictionary::new();
+        assert_eq!(d.intern("a"), 0);
+        assert_eq!(d.intern("b"), 1);
+        assert_eq!(d.intern("a"), 0);
+        assert_eq!(d.intern("c"), 2);
+        assert_eq!(d.string(1), "b");
+        assert_eq!(d.lookup("c"), Some(2));
+        assert_eq!(d.lookup("missing"), None);
+    }
+
+    #[test]
+    fn doc_freq_counts() {
+        let mut d = Dictionary::new();
+        let a = d.intern("a");
+        let b = d.intern("b");
+        d.bump_doc_freq(a);
+        d.bump_doc_freq(a);
+        d.bump_doc_freq(b);
+        assert_eq!(d.doc_freq(a), 2);
+        assert_eq!(d.doc_freq(b), 1);
+        assert_eq!(d.doc_freqs(), &[2, 1]);
+    }
+
+    #[test]
+    fn token_id_orders_numerically() {
+        assert!(TokenId(1) < TokenId(2));
+        assert_eq!(format!("{:?}", TokenId(7)), "t7");
+    }
+}

@@ -1,0 +1,121 @@
+//! Arrival processes: how stream timestamps advance.
+
+use rand::{Rng, RngExt};
+
+/// A timestamping policy for generated records.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Fixed inter-arrival gap in milliseconds.
+    Uniform {
+        /// Milliseconds between consecutive records.
+        gap_ms: u64,
+    },
+    /// Poisson arrivals at `rate_per_sec` (exponential inter-arrival
+    /// times, rounded to milliseconds).
+    Poisson {
+        /// Mean arrival rate, records per second.
+        rate_per_sec: f64,
+    },
+    /// Alternating calm/burst phases: `calm_gap_ms` between records for
+    /// `phase_len` records, then `burst_gap_ms` for the next `phase_len`.
+    Bursty {
+        /// Gap during the calm phase.
+        calm_gap_ms: u64,
+        /// Gap during the burst phase.
+        burst_gap_ms: u64,
+        /// Records per phase.
+        phase_len: u64,
+    },
+}
+
+impl Default for ArrivalProcess {
+    /// One record per millisecond.
+    fn default() -> Self {
+        ArrivalProcess::Uniform { gap_ms: 1 }
+    }
+}
+
+impl ArrivalProcess {
+    /// Advances the clock past `prev_ts` for the next arrival.
+    pub fn next_ts<R: Rng + ?Sized>(&self, rng: &mut R, prev_ts: u64) -> u64 {
+        match *self {
+            ArrivalProcess::Uniform { gap_ms } => prev_ts + gap_ms,
+            ArrivalProcess::Poisson { rate_per_sec } => {
+                assert!(rate_per_sec > 0.0, "rate must be positive");
+                let u: f64 = 1.0 - rng.random::<f64>(); // (0, 1]
+                let gap_s = -u.ln() / rate_per_sec;
+                prev_ts + (gap_s * 1000.0).round() as u64
+            }
+            ArrivalProcess::Bursty {
+                calm_gap_ms,
+                burst_gap_ms,
+                phase_len,
+            } => {
+                // Phase is derived from the clock so the process stays
+                // stateless: estimate how many arrivals happened from the
+                // average gap.
+                let avg_gap = (calm_gap_ms + burst_gap_ms).max(2) / 2;
+                let approx_arrivals = prev_ts / avg_gap.max(1);
+                let in_burst = (approx_arrivals / phase_len.max(1)) % 2 == 1;
+                prev_ts + if in_burst { burst_gap_ms } else { calm_gap_ms }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_advances_by_gap() {
+        let a = ArrivalProcess::Uniform { gap_ms: 5 };
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(a.next_ts(&mut rng, 100), 105);
+    }
+
+    #[test]
+    fn poisson_mean_gap_tracks_rate() {
+        let a = ArrivalProcess::Poisson { rate_per_sec: 100.0 }; // 10ms mean
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut ts = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            ts = a.next_ts(&mut rng, ts);
+        }
+        let mean_gap = ts as f64 / n as f64;
+        assert!((8.0..=12.0).contains(&mean_gap), "mean gap {mean_gap}ms");
+    }
+
+    #[test]
+    fn poisson_is_monotone() {
+        let a = ArrivalProcess::Poisson { rate_per_sec: 5000.0 };
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut ts = 0;
+        for _ in 0..1000 {
+            let next = a.next_ts(&mut rng, ts);
+            assert!(next >= ts);
+            ts = next;
+        }
+    }
+
+    #[test]
+    fn bursty_alternates_gaps() {
+        let a = ArrivalProcess::Bursty {
+            calm_gap_ms: 10,
+            burst_gap_ms: 1,
+            phase_len: 50,
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut ts = 0;
+        let mut gaps = Vec::new();
+        for _ in 0..500 {
+            let next = a.next_ts(&mut rng, ts);
+            gaps.push(next - ts);
+            ts = next;
+        }
+        assert!(gaps.contains(&10) && gaps.contains(&1));
+    }
+}

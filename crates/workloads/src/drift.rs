@@ -1,0 +1,157 @@
+//! Concept drift: slowly changing length and token-popularity
+//! distributions, used to exercise online repartitioning (experiment F10).
+
+use crate::generator::StreamGenerator;
+use crate::profile::{DatasetProfile, LengthDist};
+use ssj_text::Record;
+
+/// How the stream drifts over its configured horizon.
+#[derive(Debug, Clone, Copy)]
+pub struct DriftConfig {
+    /// Records over which the drift completes (progress saturates at 1
+    /// afterwards).
+    pub horizon: usize,
+    /// Multiplier applied to record lengths at the end of the horizon
+    /// (1.0 = no length drift). Interpolated linearly.
+    pub length_factor_end: f64,
+}
+
+impl DriftConfig {
+    /// Length-only drift reaching `factor` at `horizon` records.
+    pub fn length_drift(horizon: usize, factor: f64) -> Self {
+        assert!(horizon > 0, "drift horizon must be positive");
+        assert!(factor > 0.0, "length factor must be positive");
+        Self {
+            horizon,
+            length_factor_end: factor,
+        }
+    }
+
+    fn factor_at(&self, emitted: usize) -> f64 {
+        let progress = (emitted as f64 / self.horizon as f64).min(1.0);
+        1.0 + (self.length_factor_end - 1.0) * progress
+    }
+}
+
+/// Wraps a [`StreamGenerator`], rescaling its length distribution as the
+/// stream progresses.
+///
+/// Implementation note: the inner generator is re-parameterised per record
+/// by scaling the length distribution's moments — token sampling and
+/// near-duplicate behaviour are untouched, so only the *length profile*
+/// drifts, which is exactly the condition that degrades a stale length
+/// partition.
+#[derive(Debug)]
+pub struct DriftingGenerator {
+    inner: StreamGenerator,
+    base: LengthDist,
+    cfg: DriftConfig,
+    emitted: usize,
+}
+
+impl DriftingGenerator {
+    /// A drifting stream over `profile`.
+    pub fn new(profile: DatasetProfile, seed: u64, cfg: DriftConfig) -> Self {
+        let base = profile.len_dist;
+        Self {
+            inner: StreamGenerator::new(profile, seed),
+            base,
+            cfg,
+            emitted: 0,
+        }
+    }
+
+    /// Current length-scale factor (1.0 at stream start).
+    pub fn current_factor(&self) -> f64 {
+        self.cfg.factor_at(self.emitted)
+    }
+
+    /// Generates the next record under the current drift factor.
+    pub fn next_record(&mut self) -> Record {
+        let f = self.cfg.factor_at(self.emitted);
+        self.inner.profile_mut().len_dist = scale_dist(self.base, f);
+        self.emitted += 1;
+        self.inner.next_record()
+    }
+
+    /// Convenience: the next `n` records.
+    pub fn take_records(&mut self, n: usize) -> Vec<Record> {
+        (0..n).map(|_| self.next_record()).collect()
+    }
+}
+
+impl Iterator for DriftingGenerator {
+    type Item = Record;
+
+    fn next(&mut self) -> Option<Record> {
+        Some(self.next_record())
+    }
+}
+
+fn scale_dist(d: LengthDist, f: f64) -> LengthDist {
+    let s = |x: usize| ((x as f64 * f).round() as usize).max(1);
+    match d {
+        LengthDist::Uniform { lo, hi } => LengthDist::Uniform {
+            lo: s(lo),
+            hi: s(hi).max(s(lo)),
+        },
+        LengthDist::LogNormal { mu, sigma, lo, hi } => LengthDist::LogNormal {
+            mu: mu + f.ln(),
+            sigma,
+            lo: s(lo),
+            hi: s(hi),
+        },
+        LengthDist::Normal { mean, sd, lo, hi } => LengthDist::Normal {
+            mean: mean * f,
+            sd,
+            lo: s(lo),
+            hi: s(hi),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn avg_len(records: &[Record]) -> f64 {
+        records.iter().map(|r| r.len()).sum::<usize>() as f64 / records.len() as f64
+    }
+
+    #[test]
+    fn lengths_grow_with_positive_drift() {
+        let cfg = DriftConfig::length_drift(4000, 3.0);
+        let mut g = DriftingGenerator::new(DatasetProfile::dblp(), 7, cfg);
+        let early = g.take_records(1000);
+        let _skip = g.take_records(2000);
+        let late = g.take_records(1000);
+        let (a, b) = (avg_len(&early), avg_len(&late));
+        assert!(b > a * 1.5, "late avg {b} should exceed early avg {a} by 1.5x");
+    }
+
+    #[test]
+    fn factor_saturates_at_horizon() {
+        let cfg = DriftConfig::length_drift(10, 2.0);
+        let mut g = DriftingGenerator::new(DatasetProfile::aol(), 1, cfg);
+        let _early = g.take_records(50);
+        assert!((g.current_factor() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_drift_factor_one() {
+        let cfg = DriftConfig::length_drift(100, 1.0);
+        let mut g = DriftingGenerator::new(DatasetProfile::aol(), 1, cfg);
+        let _r = g.take_records(200);
+        assert!((g.current_factor() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drift_is_deterministic() {
+        let cfg = DriftConfig::length_drift(500, 2.0);
+        let a = DriftingGenerator::new(DatasetProfile::tweet(), 3, cfg).take_records(300);
+        let b = DriftingGenerator::new(DatasetProfile::tweet(), 3, cfg).take_records(300);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.tokens(), y.tokens());
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! Dataset profiles: the generator parameters that imitate the corpora the
+//! streaming set-similarity-join literature evaluates on.
+//!
+//! Published statistics of the four corpora (record count aside — we scale
+//! that freely) reduce to three knobs: length distribution, token skew, and
+//! near-duplicate density. The numbers below follow the commonly reported
+//! averages: AOL queries ≈ 3 tokens, DBLP titles ≈ 12, ENRON mails ≈ 130
+//! with a heavy tail, tweets ≈ 10 with a hard cap.
+
+use rand::{Rng, RngExt};
+
+/// A record-length distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LengthDist {
+    /// Uniform over `[lo, hi]` (inclusive).
+    Uniform {
+        /// Smallest length.
+        lo: usize,
+        /// Largest length.
+        hi: usize,
+    },
+    /// Log-normal with the given parameters of the underlying normal,
+    /// clamped to `[lo, hi]`. Produces the heavy upper tail of e-mail /
+    /// document corpora.
+    LogNormal {
+        /// Mean of `ln(len)`.
+        mu: f64,
+        /// Std-dev of `ln(len)`.
+        sigma: f64,
+        /// Smallest length after clamping.
+        lo: usize,
+        /// Largest length after clamping.
+        hi: usize,
+    },
+    /// Normal(mean, sd) rounded and clamped to `[lo, hi]`. Fits title-like
+    /// corpora with symmetric length spread.
+    Normal {
+        /// Mean length.
+        mean: f64,
+        /// Standard deviation.
+        sd: f64,
+        /// Smallest length after clamping.
+        lo: usize,
+        /// Largest length after clamping.
+        hi: usize,
+    },
+}
+
+impl LengthDist {
+    /// Draws a length.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        match *self {
+            LengthDist::Uniform { lo, hi } => rng.random_range(lo..=hi),
+            LengthDist::LogNormal { mu, sigma, lo, hi } => {
+                let z = standard_normal(rng);
+                let len = (mu + sigma * z).exp().round();
+                (len as usize).clamp(lo, hi)
+            }
+            LengthDist::Normal { mean, sd, lo, hi } => {
+                let z = standard_normal(rng);
+                let len = (mean + sd * z).round().max(0.0);
+                (len as usize).clamp(lo, hi)
+            }
+        }
+    }
+
+    /// The largest length this distribution can produce.
+    pub fn max(&self) -> usize {
+        match *self {
+            LengthDist::Uniform { hi, .. } => hi,
+            LengthDist::LogNormal { hi, .. } => hi,
+            LengthDist::Normal { hi, .. } => hi,
+        }
+    }
+}
+
+/// One draw from N(0, 1) via the Box–Muller transform (the `rand` crate
+/// ships only uniform primitives).
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling from the half-open (0, 1].
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Generator parameters imitating one corpus.
+#[derive(Debug, Clone)]
+pub struct DatasetProfile {
+    /// Profile name (used in reports).
+    pub name: &'static str,
+    /// Distinct-token universe size.
+    pub vocab: usize,
+    /// Zipf skew of token popularity.
+    pub skew: f64,
+    /// Record-length distribution.
+    pub len_dist: LengthDist,
+    /// Probability that a record is a near-duplicate of a recent one.
+    pub dup_rate: f64,
+    /// Maximum token mutations applied to a near-duplicate.
+    pub dup_mutations: usize,
+    /// How many recent records near-duplicates may copy from.
+    pub recent_pool: usize,
+}
+
+impl DatasetProfile {
+    /// AOL-like web query log: very short records, strong skew, frequent
+    /// re-issued queries.
+    pub fn aol() -> Self {
+        Self {
+            name: "aol",
+            vocab: 100_000,
+            skew: 1.0,
+            len_dist: LengthDist::LogNormal {
+                mu: 1.1,
+                sigma: 0.55,
+                lo: 1,
+                hi: 24,
+            },
+            dup_rate: 0.25,
+            dup_mutations: 1,
+            recent_pool: 4096,
+        }
+    }
+
+    /// DBLP-like publication titles: medium, tightly spread lengths.
+    pub fn dblp() -> Self {
+        Self {
+            name: "dblp",
+            vocab: 80_000,
+            skew: 0.8,
+            len_dist: LengthDist::Normal {
+                mean: 12.0,
+                sd: 3.0,
+                lo: 4,
+                hi: 32,
+            },
+            dup_rate: 0.1,
+            dup_mutations: 2,
+            recent_pool: 4096,
+        }
+    }
+
+    /// ENRON-like e-mail bodies: long records with a heavy tail.
+    pub fn enron() -> Self {
+        Self {
+            name: "enron",
+            vocab: 150_000,
+            skew: 0.9,
+            len_dist: LengthDist::LogNormal {
+                mu: 4.4,
+                sigma: 0.7,
+                lo: 10,
+                hi: 600,
+            },
+            dup_rate: 0.12,
+            dup_mutations: 6,
+            recent_pool: 2048,
+        }
+    }
+
+    /// Tweet-like microtext: short-to-medium records, hard length cap, many
+    /// near-duplicates (retweets).
+    pub fn tweet() -> Self {
+        Self {
+            name: "tweet",
+            vocab: 120_000,
+            skew: 1.1,
+            len_dist: LengthDist::Normal {
+                mean: 10.0,
+                sd: 4.0,
+                lo: 2,
+                hi: 35,
+            },
+            dup_rate: 0.3,
+            dup_mutations: 2,
+            recent_pool: 4096,
+        }
+    }
+
+    /// All four presets (evaluation loop helper).
+    pub fn all() -> Vec<DatasetProfile> {
+        vec![Self::aol(), Self::dblp(), Self::enron(), Self::tweet()]
+    }
+
+    /// Look up a preset by name.
+    pub fn by_name(name: &str) -> Option<DatasetProfile> {
+        Self::all().into_iter().find(|p| p.name == name)
+    }
+
+    /// Overrides the near-duplicate rate (used by the F6 sweep).
+    pub fn with_dup_rate(mut self, dup_rate: f64) -> Self {
+        self.dup_rate = dup_rate;
+        self
+    }
+
+    /// Overrides the vocabulary size.
+    pub fn with_vocab(mut self, vocab: usize) -> Self {
+        self.vocab = vocab;
+        self
+    }
+
+    /// The largest record length this profile can emit.
+    pub fn max_len(&self) -> usize {
+        self.len_dist.max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_lengths_in_range() {
+        let d = LengthDist::Uniform { lo: 3, hi: 7 };
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let l = d.sample(&mut rng);
+            assert!((3..=7).contains(&l));
+        }
+    }
+
+    #[test]
+    fn lognormal_clamped_and_centered() {
+        let d = LengthDist::LogNormal {
+            mu: 1.1,
+            sigma: 0.55,
+            lo: 1,
+            hi: 24,
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 20_000;
+        let mut sum = 0usize;
+        for _ in 0..n {
+            let l = d.sample(&mut rng);
+            assert!((1..=24).contains(&l));
+            sum += l;
+        }
+        let avg = sum as f64 / n as f64;
+        // E[lognormal(1.1, 0.55)] = exp(1.1 + 0.55²/2) ≈ 3.5
+        assert!((2.8..=4.2).contains(&avg), "avg {avg}");
+    }
+
+    #[test]
+    fn normal_clamped() {
+        let d = LengthDist::Normal {
+            mean: 10.0,
+            sd: 4.0,
+            lo: 2,
+            hi: 35,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut sum = 0usize;
+        let n = 20_000;
+        for _ in 0..n {
+            let l = d.sample(&mut rng);
+            assert!((2..=35).contains(&l));
+            sum += l;
+        }
+        let avg = sum as f64 / n as f64;
+        assert!((9.0..=11.0).contains(&avg), "avg {avg}");
+    }
+
+    #[test]
+    fn presets_resolve_by_name() {
+        for p in DatasetProfile::all() {
+            let found = DatasetProfile::by_name(p.name).unwrap();
+            assert_eq!(found.vocab, p.vocab);
+        }
+        assert!(DatasetProfile::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn preset_shapes_differ_as_documented() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let avg = |p: &DatasetProfile, rng: &mut StdRng| {
+            (0..5000).map(|_| p.len_dist.sample(rng)).sum::<usize>() as f64 / 5000.0
+        };
+        let aol = avg(&DatasetProfile::aol(), &mut rng);
+        let dblp = avg(&DatasetProfile::dblp(), &mut rng);
+        let enron = avg(&DatasetProfile::enron(), &mut rng);
+        assert!(aol < dblp && dblp < enron, "{aol} < {dblp} < {enron}");
+    }
+}

@@ -1,0 +1,109 @@
+//! Zipf-distributed token sampling.
+//!
+//! Rank `k` (0-based) is drawn with probability proportional to
+//! `1 / (k+1)^s`. Ranks are mapped to [`TokenId`]s in *reverse*: the most
+//! popular rank gets the largest id, so generated records already follow
+//! the crate-wide convention that smaller token ids are globally rarer —
+//! exactly what a corpus pass with document-frequency ordering would
+//! produce on real text.
+
+use crate::alias::AliasTable;
+use rand::Rng;
+use ssj_text::TokenId;
+
+/// An O(1)-per-sample Zipf token sampler over a fixed vocabulary.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    table: AliasTable,
+    vocab: u32,
+}
+
+impl ZipfSampler {
+    /// A sampler over `vocab` tokens with skew exponent `s ≥ 0`
+    /// (`s = 0` is uniform; ~1 matches natural text).
+    pub fn new(vocab: usize, s: f64) -> Self {
+        assert!(vocab > 0, "vocabulary must not be empty");
+        assert!(s >= 0.0 && s.is_finite(), "skew must be finite and >= 0");
+        let weights: Vec<f64> = (0..vocab)
+            .map(|k| 1.0 / ((k + 1) as f64).powf(s))
+            .collect();
+        Self {
+            table: AliasTable::new(&weights),
+            vocab: vocab as u32,
+        }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab as usize
+    }
+
+    /// Draws a popularity rank (0 = most popular).
+    #[inline]
+    pub fn sample_rank<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        self.table.sample(rng)
+    }
+
+    /// Draws a token id (small id = rare token).
+    #[inline]
+    pub fn sample_token<R: Rng + ?Sized>(&self, rng: &mut R) -> TokenId {
+        self.rank_to_token(self.sample_rank(rng))
+    }
+
+    /// The token id of a popularity rank.
+    #[inline]
+    pub fn rank_to_token(&self, rank: usize) -> TokenId {
+        debug_assert!((rank as u32) < self.vocab);
+        TokenId(self.vocab - 1 - rank as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rank_token_mapping_reverses() {
+        let z = ZipfSampler::new(10, 1.0);
+        assert_eq!(z.rank_to_token(0), TokenId(9)); // most popular = largest id
+        assert_eq!(z.rank_to_token(9), TokenId(0)); // rarest = smallest id
+    }
+
+    #[test]
+    fn skew_makes_low_ranks_dominant() {
+        let z = ZipfSampler::new(1000, 1.2);
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 50_000;
+        let top10 = (0..n)
+            .filter(|_| z.sample_rank(&mut rng) < 10)
+            .count() as f64
+            / n as f64;
+        assert!(top10 > 0.3, "top-10 ranks should dominate, got {top10}");
+    }
+
+    #[test]
+    fn zero_skew_is_roughly_uniform() {
+        let z = ZipfSampler::new(100, 0.0);
+        let mut rng = StdRng::seed_from_u64(8);
+        let n = 100_000;
+        let mut counts = vec![0usize; 100];
+        for _ in 0..n {
+            counts[z.sample_rank(&mut rng)] += 1;
+        }
+        let expected = n as f64 / 100.0;
+        for c in counts {
+            assert!((c as f64 - expected).abs() < expected * 0.2);
+        }
+    }
+
+    #[test]
+    fn tokens_in_range() {
+        let z = ZipfSampler::new(50, 1.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            assert!(z.sample_token(&mut rng).0 < 50);
+        }
+    }
+}

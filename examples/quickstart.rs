@@ -1,0 +1,54 @@
+//! Quickstart: tokenize a handful of documents and stream them through the
+//! bundle joiner.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use dssj::core::join::StreamJoiner;
+use dssj::text::{CorpusBuilder, WordTokenizer};
+use dssj::{BundleJoiner, JoinConfig};
+
+fn main() {
+    let documents = [
+        "apache storm distributed stream processing system",
+        "distributed stream processing with apache storm",
+        "postgres query planner deep dive",
+        "a deep dive into the postgres query planner",
+        "apache storm distributed stream processing engine",
+        "rust borrow checker explained",
+    ];
+
+    // 1. Preprocess: tokenize, count document frequencies, remap tokens so
+    //    rare tokens come first (what makes prefix filtering selective).
+    let mut builder = CorpusBuilder::new(WordTokenizer::default());
+    for (i, doc) in documents.iter().enumerate() {
+        builder.push_text(doc, i as u64);
+    }
+    let corpus = builder.build();
+
+    // 2. Stream the records through a joiner: each arriving record is
+    //    matched against everything seen before it.
+    let mut joiner = BundleJoiner::with_defaults(JoinConfig::jaccard(0.6));
+    let mut matches = Vec::new();
+    for record in corpus.records() {
+        joiner.process(record, &mut matches);
+    }
+
+    // 3. Report.
+    println!("{} documents, {} similar pairs at Jaccard >= 0.6:\n", documents.len(), matches.len());
+    for m in &matches {
+        println!(
+            "  {:.2}  #{} <-> #{}",
+            m.similarity, m.earlier.0, m.later.0
+        );
+        println!("        \"{}\"", documents[m.earlier.0 as usize]);
+        println!("        \"{}\"", documents[m.later.0 as usize]);
+    }
+    println!(
+        "\njoiner state: {} records in {} bundles, {} index postings",
+        joiner.stored(),
+        joiner.bundles(),
+        joiner.postings()
+    );
+}

@@ -1,0 +1,30 @@
+//! # dssj — Distributed Streaming Set Similarity Join
+//!
+//! Facade crate re-exporting the whole system (a reproduction of
+//! *Distributed Streaming Set Similarity Join*, ICDE 2020):
+//!
+//! * [`text`] — tokenization, dictionaries, records;
+//! * [`core`] — similarity measures, filters, verification, and the local
+//!   joiners (Naive / AllPairs / PPJoin / Bundle);
+//! * [`partition`] — length histograms and load-aware length partitioning;
+//! * [`stormlite`] — the in-process Storm-like stream engine;
+//! * [`distrib`] — the distribution frameworks (length-based, prefix-based,
+//!   broadcast) and the end-to-end distributed join driver;
+//! * [`workloads`] — synthetic corpus/stream generators.
+//!
+//! See the `examples/` directory for runnable entry points, starting with
+//! `quickstart.rs`.
+
+#![warn(missing_docs)]
+
+pub use ssj_core as core;
+pub use ssj_distrib as distrib;
+pub use ssj_partition as partition;
+pub use ssj_text as text;
+pub use ssj_workloads as workloads;
+pub use stormlite;
+
+pub use ssj_core::{
+    AllPairsJoiner, BundleConfig, BundleJoiner, JoinConfig, MatchPair, NaiveJoiner, PpJoinJoiner,
+    SimFn, StreamJoiner, Threshold, Window,
+};

@@ -1,0 +1,119 @@
+//! Long-stream compaction stress: small windows over many records force
+//! repeated store compactions (slot remaps, posting rewrites, seen-filter
+//! resets); results must stay exactly correct throughout and memory must
+//! stay bounded.
+
+use dssj::core::join::run_stream;
+use dssj::core::{
+    AllPairsJoiner, BundleJoiner, JoinConfig, NaiveJoiner, PpJoinJoiner, StreamJoiner, Threshold,
+    Window,
+};
+use dssj::workloads::{DatasetProfile, LengthDist, StreamGenerator};
+
+fn workload(n: usize) -> Vec<dssj::text::Record> {
+    let profile = DatasetProfile {
+        name: "compaction-stress",
+        vocab: 500, // small vocabulary: dense matches keep indexes busy
+        skew: 0.9,
+        len_dist: LengthDist::Uniform { lo: 3, hi: 12 },
+        dup_rate: 0.4,
+        dup_mutations: 2,
+        recent_pool: 128,
+    };
+    StreamGenerator::new(profile, 77).take_records(n)
+}
+
+#[test]
+fn repeated_compaction_preserves_results() {
+    // Window 64 over 20k records ⇒ ~19.9k evictions ⇒ many compaction
+    // cycles (threshold: dead > 1024 && dead > live).
+    let n = 20_000;
+    let records = workload(n);
+    let cfg = JoinConfig {
+        threshold: Threshold::jaccard(0.7),
+        window: Window::Count(64),
+    };
+    let mut naive = NaiveJoiner::new(cfg);
+    let mut expect: Vec<_> = run_stream(&mut naive, &records)
+        .iter()
+        .map(|m| m.key())
+        .collect();
+    expect.sort_unstable();
+    assert!(!expect.is_empty());
+
+    let mut ap = AllPairsJoiner::new(cfg);
+    let mut got: Vec<_> = run_stream(&mut ap, &records).iter().map(|m| m.key()).collect();
+    got.sort_unstable();
+    assert_eq!(got, expect, "allpairs diverged across compactions");
+
+    let mut pp = PpJoinJoiner::new_plus(cfg);
+    let mut got: Vec<_> = run_stream(&mut pp, &records).iter().map(|m| m.key()).collect();
+    got.sort_unstable();
+    assert_eq!(got, expect, "ppjoin+ diverged across compactions");
+
+    let mut bj = BundleJoiner::with_defaults(cfg);
+    let mut got: Vec<_> = run_stream(&mut bj, &records).iter().map(|m| m.key()).collect();
+    got.sort_unstable();
+    assert_eq!(got, expect, "bundle diverged across compactions");
+}
+
+#[test]
+fn memory_stays_bounded_by_the_window() {
+    let n = 30_000;
+    let w = 128u64;
+    let records = workload(n);
+    let cfg = JoinConfig {
+        threshold: Threshold::jaccard(0.8),
+        window: Window::Count(w),
+    };
+    let mut out = Vec::new();
+
+    let mut pp = PpJoinJoiner::new(cfg);
+    for r in &records {
+        pp.process(r, &mut out);
+    }
+    assert!(pp.stored() <= w as usize + 1);
+    // Postings: live records × prefix length, plus bounded lazy garbage.
+    // Compaction keeps garbage below the live count, and prefixes here are
+    // at most ~5 tokens, so a generous cap is 16× the window.
+    assert!(
+        pp.postings() < 16 * w as usize,
+        "postings grew unbounded: {}",
+        pp.postings()
+    );
+
+    out.clear();
+    let mut bj = BundleJoiner::with_defaults(cfg);
+    for r in &records {
+        bj.process(r, &mut out);
+    }
+    assert!(bj.stored() <= w as usize + 1);
+    assert!(
+        bj.postings() < 16 * w as usize,
+        "bundle postings grew unbounded: {}",
+        bj.postings()
+    );
+    assert!(bj.bundles() <= bj.stored());
+}
+
+#[test]
+fn eviction_counts_are_exact() {
+    let n = 5_000usize;
+    let w = 100u64;
+    let records = workload(n);
+    let cfg = JoinConfig {
+        threshold: Threshold::jaccard(0.8),
+        window: Window::Count(w),
+    };
+    let mut j = AllPairsJoiner::new(cfg);
+    let mut out = Vec::new();
+    for r in &records {
+        j.process(r, &mut out);
+    }
+    // Everything inserted is either still live or was evicted.
+    assert_eq!(
+        j.stats().indexed,
+        j.stored() as u64 + j.stats().evicted,
+        "insert/evict accounting leak"
+    );
+}

@@ -1,0 +1,208 @@
+//! Property-based equivalence: every joiner and every distribution
+//! strategy must produce exactly the naive ground-truth result set —
+//! across random workload shapes, thresholds, windows and joiner counts.
+
+use dssj::core::join::run_stream;
+use dssj::core::{
+    AllPairsJoiner, BundleConfig, BundleJoiner, JoinConfig, NaiveJoiner, PpJoinJoiner, SimFn,
+    Threshold, Window,
+};
+use dssj::distrib::{
+    run_distributed, DistributedJoinConfig, LocalAlgo, PartitionMethod,
+    Strategy as DistStrategy,
+};
+use dssj::text::Record;
+use dssj::workloads::{DatasetProfile, LengthDist, StreamGenerator};
+use proptest::prelude::*;
+
+/// A small random profile: every parameter that shapes the join cost is
+/// drawn, so the property explores skew × length × duplication space.
+fn profile_strategy() -> impl Strategy<Value = DatasetProfile> {
+    (
+        100usize..2000,       // vocab
+        0.0f64..1.3,          // skew
+        1usize..6,            // lo
+        6usize..40,           // hi
+        0.0f64..0.7,          // dup rate
+        0usize..4,            // dup mutations
+    )
+        .prop_map(|(vocab, skew, lo, hi, dup_rate, dup_mutations)| DatasetProfile {
+            name: "prop",
+            vocab,
+            skew,
+            len_dist: LengthDist::Uniform { lo, hi },
+            dup_rate,
+            dup_mutations,
+            recent_pool: 256,
+        })
+}
+
+fn sorted_keys(pairs: &[dssj::MatchPair]) -> Vec<(u64, u64)> {
+    let mut keys: Vec<_> = pairs.iter().map(|m| m.key()).collect();
+    keys.sort_unstable();
+    keys
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Local joiners vs naive, random profiles and thresholds.
+    #[test]
+    fn local_joiners_match_naive(
+        profile in profile_strategy(),
+        seed in 0u64..10_000,
+        tau in 0.5f64..0.95,
+        sim_idx in 0usize..3,
+        window_kind in 0usize..3,
+    ) {
+        let records = StreamGenerator::new(profile, seed).take_records(250);
+        let sim = [SimFn::Jaccard, SimFn::Cosine, SimFn::Dice][sim_idx];
+        let window = match window_kind {
+            0 => Window::Unbounded,
+            1 => Window::Count(60),
+            _ => Window::TimeMs(40),
+        };
+        let cfg = JoinConfig { threshold: Threshold::new(sim, tau), window };
+        let mut naive = NaiveJoiner::new(cfg);
+        let expect = sorted_keys(&run_stream(&mut naive, &records));
+
+        let mut ap = AllPairsJoiner::new(cfg);
+        prop_assert_eq!(&sorted_keys(&run_stream(&mut ap, &records)), &expect, "allpairs");
+        let mut pp = PpJoinJoiner::new(cfg);
+        prop_assert_eq!(&sorted_keys(&run_stream(&mut pp, &records)), &expect, "ppjoin");
+        let mut ppp = PpJoinJoiner::new_plus(cfg);
+        prop_assert_eq!(&sorted_keys(&run_stream(&mut ppp, &records)), &expect, "ppjoin+");
+        let mut bj = BundleJoiner::with_defaults(cfg);
+        prop_assert_eq!(&sorted_keys(&run_stream(&mut bj, &records)), &expect, "bundle");
+    }
+
+    /// Bundle joiner with random bundle parameters vs naive.
+    #[test]
+    fn bundle_parameters_never_change_results(
+        profile in profile_strategy(),
+        seed in 0u64..10_000,
+        tau in 0.5f64..0.9,
+        bundle_tau in 0.3f64..1.0,
+        max_members in 1usize..16,
+        max_delta_frac in 0.0f64..0.9,
+    ) {
+        let records = StreamGenerator::new(profile, seed).take_records(200);
+        let join = JoinConfig::jaccard(tau);
+        let mut naive = NaiveJoiner::new(join);
+        let expect = sorted_keys(&run_stream(&mut naive, &records));
+        let cfg = BundleConfig {
+            join,
+            bundle_tau,
+            max_members,
+            max_delta_frac,
+        };
+        let mut bj = BundleJoiner::new(cfg);
+        prop_assert_eq!(sorted_keys(&run_stream(&mut bj, &records)), expect);
+    }
+
+    /// Distributed runs vs naive, random strategy/k/threshold/window.
+    #[test]
+    fn distributed_matches_naive(
+        profile in profile_strategy(),
+        seed in 0u64..10_000,
+        tau in 0.55f64..0.9,
+        k in 1usize..6,
+        strat_idx in 0usize..4,
+        local_idx in 0usize..4,
+        window_kind in 0usize..2,
+    ) {
+        let records = StreamGenerator::new(profile, seed).take_records(220);
+        let window = if window_kind == 0 { Window::Unbounded } else { Window::Count(70) };
+        let join = JoinConfig { threshold: Threshold::jaccard(tau), window };
+        let mut naive = NaiveJoiner::new(join);
+        let expect = sorted_keys(&run_stream(&mut naive, &records));
+
+        let strategy = match strat_idx {
+            0 => DistStrategy::LengthAuto { method: PartitionMethod::LoadAware, sample: 60 },
+            1 => DistStrategy::LengthAuto { method: PartitionMethod::EqualWidth, sample: 60 },
+            2 => DistStrategy::Prefix,
+            _ => DistStrategy::Broadcast,
+        };
+        let local = [
+            LocalAlgo::AllPairs,
+            LocalAlgo::PpJoin,
+            LocalAlgo::PpJoinPlus,
+            LocalAlgo::bundle(),
+        ][local_idx];
+        let cfg = DistributedJoinConfig {
+            k,
+            join,
+            local,
+            strategy,
+            channel_capacity: 64,
+            source_rate: None,
+        };
+        let out = run_distributed(&records, &cfg);
+        prop_assert_eq!(sorted_keys(&out.pairs), expect);
+    }
+
+    /// Distributed bi-stream joins vs the local bi-stream reference.
+    #[test]
+    fn bistream_distributed_matches_reference(
+        profile in profile_strategy(),
+        seed in 0u64..10_000,
+        tau in 0.55f64..0.9,
+        k in 1usize..5,
+        split_mod in 2u64..4,
+    ) {
+        use dssj::core::join::bistream::{merge_streams, run_bistream, BiStreamJoiner};
+        use dssj::distrib::run_bistream_distributed;
+        let all = StreamGenerator::new(profile, seed).take_records(180);
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        for r in all {
+            if r.id().0 % split_mod == 0 {
+                left.push(r);
+            } else {
+                right.push(r);
+            }
+        }
+        let join = JoinConfig::jaccard(tau);
+        let merged = merge_streams(&left, &right);
+        let mut reference = BiStreamJoiner::new(|| NaiveJoiner::new(join));
+        let expect = sorted_keys(&run_bistream(&mut reference, &merged));
+
+        let cfg = DistributedJoinConfig {
+            k,
+            join,
+            local: LocalAlgo::bundle(),
+            strategy: DistStrategy::LengthAuto {
+                method: PartitionMethod::LoadAware,
+                sample: 50,
+            },
+            channel_capacity: 64,
+            source_rate: None,
+        };
+        let out = run_bistream_distributed(&left, &right, &cfg);
+        prop_assert_eq!(sorted_keys(&out.pairs), expect);
+    }
+
+    /// Filters never create similarity values that differ from the naive
+    /// computation (not just the same pairs — the same numbers).
+    #[test]
+    fn similarity_values_are_exact(
+        profile in profile_strategy(),
+        seed in 0u64..10_000,
+        tau in 0.5f64..0.9,
+    ) {
+        let records: Vec<Record> = StreamGenerator::new(profile, seed).take_records(150);
+        let cfg = JoinConfig::jaccard(tau);
+        let mut naive = NaiveJoiner::new(cfg);
+        let mut expect = run_stream(&mut naive, &records);
+        expect.sort_by_key(|m| m.key());
+        let mut bj = BundleJoiner::with_defaults(cfg);
+        let mut got = run_stream(&mut bj, &records);
+        got.sort_by_key(|m| m.key());
+        prop_assert_eq!(expect.len(), got.len());
+        for (e, g) in expect.iter().zip(&got) {
+            prop_assert_eq!(e.key(), g.key());
+            prop_assert!((e.similarity - g.similarity).abs() < 1e-12,
+                "similarity mismatch on {:?}: {} vs {}", e.key(), e.similarity, g.similarity);
+        }
+    }
+}
