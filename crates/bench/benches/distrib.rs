@@ -77,6 +77,7 @@ fn bench_end_to_end(c: &mut Criterion) {
                     strategy: strategy.clone(),
                     channel_capacity: 1024,
                     source_rate: None,
+                    fault: None,
                 };
                 black_box(run_distributed(black_box(&records), &cfg).pairs.len())
             })

@@ -19,11 +19,16 @@ fn bench_overlap(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("merge", len), &len, |bench, _| {
             bench.iter(|| black_box(verify::overlap(black_box(&a), black_box(&b))))
         });
-        g.bench_with_input(BenchmarkId::new("early_term_high", len), &len, |bench, _| {
-            // Requirement just above the true overlap: aborts mid-merge.
-            let req = verify::overlap(&a, &b) + 1;
-            bench.iter(|| black_box(verify::overlap_with_min(black_box(&a), black_box(&b), req)))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("early_term_high", len),
+            &len,
+            |bench, _| {
+                // Requirement just above the true overlap: aborts mid-merge.
+                let req = verify::overlap(&a, &b) + 1;
+                bench
+                    .iter(|| black_box(verify::overlap_with_min(black_box(&a), black_box(&b), req)))
+            },
+        );
     }
     g.finish();
 }

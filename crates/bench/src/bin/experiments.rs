@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! experiments [--n N] [--quick] [--results DIR] <id>...
-//!   ids: check t1 t2 f1 f2 f3 f4 f5 f6 f7 f8 f9 f10 all
+//!   ids: check t1 t2 f1 f2 f3 f4 f5 f6 f7 f8 f9 f10 f11 f12 a1 all
 //! ```
 
 use ssj_bench::{exps, Scale};
@@ -11,8 +11,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 const IDS: &[&str] = &[
-    "check", "t1", "t2", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "f10",
-    "f11", "a1",
+    "check", "t1", "t2", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "f10", "f11", "f12",
+    "a1",
 ];
 
 fn usage() -> ExitCode {
@@ -82,6 +82,7 @@ fn main() -> ExitCode {
             "f9" => exps::f9(scale, &results),
             "f10" => exps::f10(scale, &results),
             "f11" => exps::f11(scale, &results),
+            "f12" => exps::f12(scale, &results),
             "a1" => exps::a1(scale, &results),
             other => {
                 eprintln!("unknown experiment id: {other}");

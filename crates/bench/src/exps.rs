@@ -11,9 +11,7 @@ use ssj_core::{
     join::run_stream, AllPairsJoiner, BundleJoiner, JoinConfig, NaiveJoiner, PpJoinJoiner,
     StreamJoiner, Threshold, Window,
 };
-use ssj_distrib::{
-    run_distributed, DistributedJoinConfig, LocalAlgo, PartitionMethod, Strategy,
-};
+use ssj_distrib::{run_distributed, DistributedJoinConfig, LocalAlgo, PartitionMethod, Strategy};
 use ssj_partition::{
     equal_depth, equal_width, imbalance, load_aware, load_aware_greedy, CostModel, EpochConfig,
     LengthHistogram,
@@ -22,6 +20,7 @@ use ssj_text::{FxHashSet, TokenId};
 use ssj_workloads::{DatasetProfile, DriftConfig, DriftingGenerator};
 use std::path::Path;
 use std::time::Instant;
+use stormlite::FaultPlan;
 
 fn thresholds(scale: Scale) -> Vec<f64> {
     if scale.quick {
@@ -31,7 +30,12 @@ fn thresholds(scale: Scale) -> Vec<f64> {
     }
 }
 
-fn dist_cfg(k: usize, join: JoinConfig, local: LocalAlgo, strategy: Strategy) -> DistributedJoinConfig {
+fn dist_cfg(
+    k: usize,
+    join: JoinConfig,
+    local: LocalAlgo,
+    strategy: Strategy,
+) -> DistributedJoinConfig {
     DistributedJoinConfig {
         k,
         join,
@@ -39,6 +43,7 @@ fn dist_cfg(k: usize, join: JoinConfig, local: LocalAlgo, strategy: Strategy) ->
         strategy,
         channel_capacity: 1024,
         source_rate: None,
+        fault: None,
     }
 }
 
@@ -54,7 +59,14 @@ pub fn t1(scale: Scale, results: &Path) {
     let n = scale.n();
     let mut t = Table::new(
         &format!("T1: dataset statistics (n = {n} per profile, seed {SEED})"),
-        &["dataset", "records", "avg_len", "max_len", "distinct_tokens", "dup_rate"],
+        &[
+            "dataset",
+            "records",
+            "avg_len",
+            "max_len",
+            "distinct_tokens",
+            "dup_rate",
+        ],
     );
     for p in DatasetProfile::all() {
         let recs = records(&p, n);
@@ -84,7 +96,13 @@ pub fn t2(scale: Scale, results: &Path) {
     let k = 8;
     let mut t = Table::new(
         &format!("T2: partition imbalance (model), tau = {tau}, k = {k}"),
-        &["dataset", "equal_width", "equal_depth", "load_aware", "load_aware_greedy"],
+        &[
+            "dataset",
+            "equal_width",
+            "equal_depth",
+            "load_aware",
+            "load_aware_greedy",
+        ],
     );
     for p in DatasetProfile::all() {
         let recs = records(&p, n);
@@ -114,7 +132,15 @@ pub fn f1(scale: Scale, results: &Path) {
     let k = 8;
     let mut t = Table::new(
         &format!("F1: throughput (records/s) vs tau, k = {k}, n = {n}"),
-        &["dataset", "tau", "LD+bundle", "LD+ppjoin", "PD+ppjoin", "RD+ppjoin", "results"],
+        &[
+            "dataset",
+            "tau",
+            "LD+bundle",
+            "LD+ppjoin",
+            "PD+ppjoin",
+            "RD+ppjoin",
+            "results",
+        ],
     );
     for p in headline_profiles() {
         let recs = records(&p, n);
@@ -186,7 +212,14 @@ pub fn f3(scale: Scale, results: &Path) {
     let k = 8;
     let mut t = Table::new(
         &format!("F3: communication per record, k = {k}, n = {n}"),
-        &["dataset", "tau", "strategy", "msgs/rec", "bytes/rec", "replication"],
+        &[
+            "dataset",
+            "tau",
+            "strategy",
+            "msgs/rec",
+            "bytes/rec",
+            "replication",
+        ],
     );
     for p in headline_profiles() {
         let recs = records(&p, n);
@@ -198,8 +231,7 @@ pub fn f3(scale: Scale, results: &Path) {
                 ("PD", Strategy::Prefix),
                 ("RD", Strategy::Broadcast),
             ] {
-                let out =
-                    run_distributed(&recs, &dist_cfg(k, join, LocalAlgo::PpJoin, strategy));
+                let out = run_distributed(&recs, &dist_cfg(k, join, LocalAlgo::PpJoin, strategy));
                 t.row(vec![
                     p.name.into(),
                     fnum(tau),
@@ -222,7 +254,13 @@ pub fn f4(scale: Scale, results: &Path) {
     let join = JoinConfig::jaccard(tau);
     let mut t = Table::new(
         &format!("F4: measured busy-time imbalance (max/avg), tau = {tau}, k = {k}, n = {n}"),
-        &["dataset", "equal_width", "equal_depth", "load_aware", "throughput_la"],
+        &[
+            "dataset",
+            "equal_width",
+            "equal_depth",
+            "load_aware",
+            "throughput_la",
+        ],
     );
     for p in DatasetProfile::all() {
         let recs = records(&p, n);
@@ -259,7 +297,16 @@ pub fn f5(scale: Scale, results: &Path) {
     let n = scale.n();
     let mut t = Table::new(
         &format!("F5: local join throughput (records/s) vs tau, n = {n}"),
-        &["dataset", "tau", "allpairs", "ppjoin", "ppjoin+", "bundle", "bundle_postings", "ppjoin_postings"],
+        &[
+            "dataset",
+            "tau",
+            "allpairs",
+            "ppjoin",
+            "ppjoin+",
+            "bundle",
+            "bundle_postings",
+            "ppjoin_postings",
+        ],
     );
     for p in headline_profiles() {
         let recs = records(&p, n);
@@ -303,7 +350,14 @@ pub fn f6(scale: Scale, results: &Path) {
     };
     let mut t = Table::new(
         &format!("F6: bundle joiner vs duplicate rate, tau = {tau}, n = {n}, dataset = tweet"),
-        &["dup_rate", "bundle_rps", "ppjoin_rps", "speedup", "absorb_ratio", "postings_saved_%"],
+        &[
+            "dup_rate",
+            "bundle_rps",
+            "ppjoin_rps",
+            "speedup",
+            "absorb_ratio",
+            "postings_saved_%",
+        ],
     );
     for d in rates {
         let recs = records(&DatasetProfile::tweet().with_dup_rate(d), n);
@@ -315,8 +369,8 @@ pub fn f6(scale: Scale, results: &Path) {
         let mut pp = PpJoinJoiner::new(join);
         let _ = run_stream(&mut pp, &recs);
         let pp_rps = recs.len() as f64 / t0.elapsed().as_secs_f64();
-        let saved = 1.0
-            - bj.stats().postings_created as f64 / pp.stats().postings_created.max(1) as f64;
+        let saved =
+            1.0 - bj.stats().postings_created as f64 / pp.stats().postings_created.max(1) as f64;
         t.row(vec![
             fnum(d),
             fnum(bj_rps),
@@ -420,7 +474,9 @@ pub fn f8(scale: Scale, results: &Path) {
         vec![2_000.0, 5_000.0, 10_000.0, 20_000.0, 50_000.0]
     };
     let mut t = Table::new(
-        &format!("F8: result latency vs arrival rate, tau = {tau}, k = {k}, n = {n}, dataset = aol"),
+        &format!(
+            "F8: result latency vs arrival rate, tau = {tau}, k = {k}, n = {n}, dataset = aol"
+        ),
         &["rate_rps", "mean_us", "p95_us", "p99_us", "results"],
     );
     let recs = records(&DatasetProfile::aol(), n);
@@ -447,7 +503,14 @@ pub fn f9(scale: Scale, results: &Path) {
     let tau = 0.8;
     let mut t = Table::new(
         &format!("F9: window size vs throughput & index size, tau = {tau}, n = {n}, dataset = aol"),
-        &["window", "bundle_rps", "bundle_stored", "bundle_postings", "ppjoin_stored", "ppjoin_postings"],
+        &[
+            "window",
+            "bundle_rps",
+            "bundle_stored",
+            "bundle_postings",
+            "ppjoin_stored",
+            "ppjoin_postings",
+        ],
     );
     let recs = records(&DatasetProfile::aol(), n);
     let windows: Vec<(String, Window)> = vec![
@@ -502,8 +565,18 @@ pub fn f10(scale: Scale, results: &Path) {
     // ratio of per-record join cost to message-handling cost; see
     // EXPERIMENTS.md for the analysis.
     let mut t = Table::new(
-        &format!("F10: drift (length x3 over {}): static vs online repartitioning, k = {k}", n / 2),
-        &["strategy", "wall_rps", "modeled_rps", "busy_imbalance", "msgs/rec", "results"],
+        &format!(
+            "F10: drift (length x3 over {}): static vs online repartitioning, k = {k}",
+            n / 2
+        ),
+        &[
+            "strategy",
+            "wall_rps",
+            "modeled_rps",
+            "busy_imbalance",
+            "msgs/rec",
+            "results",
+        ],
     );
     for (name, strategy) in [
         ("static", length_auto(sample)),
@@ -578,7 +651,14 @@ pub fn a1(scale: Scale, results: &Path) {
     let recs = records(&DatasetProfile::aol(), n);
     let mut t = Table::new(
         &format!("A1: bundle parameter ablation, tau = {tau}, n = {n}, dataset = aol"),
-        &["bundle_tau", "max_members", "rps", "absorb_ratio", "bundles", "postings"],
+        &[
+            "bundle_tau",
+            "max_members",
+            "rps",
+            "absorb_ratio",
+            "bundles",
+            "postings",
+        ],
     );
     let taus: Vec<f64> = if scale.quick {
         vec![0.8, 1.0]
@@ -611,6 +691,76 @@ pub fn a1(scale: Scale, results: &Path) {
     t.emit(results, "a1_bundle_ablation");
 }
 
+/// F12 — crash recovery: an injected joiner crash mid-stream must leave
+/// the result set identical to the fault-free run, and the recovery cost
+/// (records replayed into the restarted task) is bounded by the live
+/// window, not by the stream length. The unbounded-window row shows the
+/// degenerate case where the replay buffer covers the whole prefix.
+pub fn f12(scale: Scale, results: &Path) {
+    fn keys(out: &ssj_distrib::DistributedJoinResult) -> Vec<(u64, u64)> {
+        let mut keys: Vec<_> = out.pairs.iter().map(|m| m.key()).collect();
+        keys.sort_unstable();
+        keys
+    }
+    let n = scale.n();
+    let tau = 0.8;
+    let k = 4;
+    // Crash joiner 1 roughly mid-stream: with load-aware routing each
+    // joiner indexes ~n/k records, so half of that is the midpoint.
+    let crash_after = (n / (2 * k)) as u64;
+    let mut t = Table::new(
+        &format!(
+            "F12: crash recovery, tau = {tau}, n = {n}, k = {k}, dataset = aol, \
+             crash joiner 1 after {crash_after} indexed tuples"
+        ),
+        &[
+            "window",
+            "clean_rps",
+            "fault_rps",
+            "slowdown",
+            "restarts",
+            "replayed",
+            "identical",
+        ],
+    );
+    let recs = records(&DatasetProfile::aol(), n);
+    let windows: Vec<(String, Window)> = if scale.quick {
+        vec![
+            ("1k".into(), Window::Count(1_000)),
+            ("unbounded".into(), Window::Unbounded),
+        ]
+    } else {
+        vec![
+            ("1k".into(), Window::Count(1_000)),
+            ("5k".into(), Window::Count(5_000)),
+            ("20k".into(), Window::Count(20_000)),
+            ("unbounded".into(), Window::Unbounded),
+        ]
+    };
+    for (name, window) in windows {
+        let join = JoinConfig {
+            threshold: Threshold::jaccard(tau),
+            window,
+        };
+        let cfg = dist_cfg(k, join, LocalAlgo::bundle(), length_auto(2_000));
+        let clean = run_distributed(&recs, &cfg);
+        let mut fault_cfg = dist_cfg(k, join, LocalAlgo::bundle(), length_auto(2_000));
+        fault_cfg.fault = Some(FaultPlan::new().crash("joiner", 1, crash_after));
+        let faulted = run_distributed(&recs, &fault_cfg);
+        let replayed: u64 = faulted.joiners.iter().map(|j| j.replayed).sum();
+        t.row(vec![
+            name,
+            fnum(clean.throughput()),
+            fnum(faulted.throughput()),
+            fnum(clean.throughput() / faulted.throughput().max(1e-9)),
+            faulted.report.total_restarts().to_string(),
+            replayed.to_string(),
+            (keys(&clean) == keys(&faulted)).to_string(),
+        ]);
+    }
+    t.emit(results, "f12_recovery");
+}
+
 /// Correctness smoke: naive vs the full distributed recommended setup on a
 /// small stream — run before benchmarking to catch misconfiguration.
 pub fn check(results: &Path) {
@@ -626,7 +776,10 @@ pub fn check(results: &Path) {
     let mut got: Vec<(u64, u64)> = out.pairs.iter().map(|m| m.key()).collect();
     got.sort_unstable();
     assert_eq!(expect, got, "distributed result diverged from ground truth");
-    let mut t = Table::new("check: distributed == naive ground truth", &["records", "pairs", "status"]);
+    let mut t = Table::new(
+        "check: distributed == naive ground truth",
+        &["records", "pairs", "status"],
+    );
     t.row(vec![
         recs.len().to_string(),
         expect.len().to_string(),
@@ -660,6 +813,11 @@ mod tests {
     #[test]
     fn f7_runs() {
         f7(tiny(), Path::new("/tmp/ssj-results-test"));
+    }
+
+    #[test]
+    fn f12_runs() {
+        f12(tiny(), Path::new("/tmp/ssj-results-test"));
     }
 
     #[test]

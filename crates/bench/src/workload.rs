@@ -33,5 +33,4 @@ mod tests {
             assert_eq!(x.tokens(), y.tokens());
         }
     }
-
 }

@@ -82,6 +82,7 @@ fn dist_config(args: &Args, join: JoinConfig) -> Result<DistributedJoinConfig, A
         },
         channel_capacity: 1024,
         source_rate: None,
+        fault: None,
     })
 }
 
@@ -113,14 +114,17 @@ pub fn join(args: &Args) -> CliResult {
         for j in &out.joiners {
             println!(
                 "joiner {}: indexed {} candidates {} verifications {} results {}",
-                j.task, j.stats.indexed, j.stats.candidates, j.stats.verifications,
-                j.stats.results
+                j.task, j.stats.indexed, j.stats.candidates, j.stats.verifications, j.stats.results
             );
         }
     }
     let show: usize = args.get_or("show-pairs", 10)?;
     let mut pairs = out.pairs.clone();
-    pairs.sort_by(|a, b| b.similarity.total_cmp(&a.similarity).then(a.key().cmp(&b.key())));
+    pairs.sort_by(|a, b| {
+        b.similarity
+            .total_cmp(&a.similarity)
+            .then(a.key().cmp(&b.key()))
+    });
     for m in pairs.iter().take(show) {
         println!(
             "{:.3}  line {} <-> line {}",
@@ -134,11 +138,8 @@ pub fn join(args: &Args) -> CliResult {
 pub fn bistream(args: &Args) -> CliResult {
     // Token ids must come from one shared dictionary and record ids must be
     // globally unique, so both files are tokenized together.
-    let (left_records, right_records) = tokenize_together(
-        args.required("left")?,
-        args.required("right")?,
-        args,
-    )?;
+    let (left_records, right_records) =
+        tokenize_together(args.required("left")?, args.required("right")?, args)?;
     let join = join_config(args)?;
     let cfg = dist_config(args, join)?;
     let out = run_bistream_distributed(&left_records, &right_records, &cfg);

@@ -27,7 +27,11 @@ const DOCS: &str = "apache storm stream processing\n\
 fn join_finds_similar_lines() {
     let input = write_temp("join_input.txt", DOCS);
     let out = dssj(&["join", "--input", input.to_str().unwrap(), "--tau", "0.6"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("pairs       : 2"), "{stdout}");
     assert!(stdout.contains("line 0 <-> line 1"), "{stdout}");
@@ -36,9 +40,18 @@ fn join_finds_similar_lines() {
 
 #[test]
 fn join_with_qgrams() {
-    let input = write_temp("join_qgram.txt", "similarity join\nsimilarity joins\nunrelated words\n");
+    let input = write_temp(
+        "join_qgram.txt",
+        "similarity join\nsimilarity joins\nunrelated words\n",
+    );
     let out = dssj(&[
-        "join", "--input", input.to_str().unwrap(), "--tau", "0.7", "--qgram", "3",
+        "join",
+        "--input",
+        input.to_str().unwrap(),
+        "--tau",
+        "0.7",
+        "--qgram",
+        "3",
     ]);
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
@@ -47,15 +60,25 @@ fn join_with_qgrams() {
 
 #[test]
 fn bistream_joins_two_files() {
-    let left = write_temp("bi_left.txt", "breaking news about storms\ncalm weather today\n");
+    let left = write_temp(
+        "bi_left.txt",
+        "breaking news about storms\ncalm weather today\n",
+    );
     let right = write_temp("bi_right.txt", "breaking news about storms\n");
     let out = dssj(&[
         "bistream",
-        "--left", left.to_str().unwrap(),
-        "--right", right.to_str().unwrap(),
-        "--tau", "0.9",
+        "--left",
+        left.to_str().unwrap(),
+        "--right",
+        right.to_str().unwrap(),
+        "--tau",
+        "0.9",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("pairs       : 1"), "{stdout}");
 }
@@ -64,10 +87,21 @@ fn bistream_joins_two_files() {
 fn generate_then_partition_roundtrip() {
     let corpus = std::env::temp_dir().join("dssj-cli-tests/gen.txt");
     let out = dssj(&[
-        "generate", "--profile", "aol", "--n", "500",
-        "--out", corpus.to_str().unwrap(), "--seed", "7",
+        "generate",
+        "--profile",
+        "aol",
+        "--n",
+        "500",
+        "--out",
+        corpus.to_str().unwrap(),
+        "--seed",
+        "7",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = std::fs::read_to_string(&corpus).unwrap();
     assert_eq!(text.lines().count(), 500);
 

@@ -129,6 +129,13 @@ impl StreamJoiner for AllPairsJoiner {
         self.stats.indexed += 1;
     }
 
+    fn window_snapshot(&self) -> Vec<Record> {
+        self.queue
+            .iter()
+            .map(|&slot| self.store.get(slot).expect("queued slot is live").clone())
+            .collect()
+    }
+
     fn stats(&self) -> &JoinStats {
         &self.stats
     }
@@ -151,7 +158,11 @@ mod tests {
     use ssj_text::{RecordId, TokenId};
 
     fn rec(id: u64, toks: &[u32]) -> Record {
-        Record::from_sorted(RecordId(id), id, toks.iter().copied().map(TokenId).collect())
+        Record::from_sorted(
+            RecordId(id),
+            id,
+            toks.iter().copied().map(TokenId).collect(),
+        )
     }
 
     fn assert_same_as_naive(cfg: JoinConfig, records: &[Record]) {
@@ -161,7 +172,10 @@ mod tests {
             .iter()
             .map(|m| m.key())
             .collect();
-        let mut got: Vec<_> = run_stream(&mut ap, records).iter().map(|m| m.key()).collect();
+        let mut got: Vec<_> = run_stream(&mut ap, records)
+            .iter()
+            .map(|m| m.key())
+            .collect();
         expect.sort_unstable();
         got.sort_unstable();
         assert_eq!(expect, got);

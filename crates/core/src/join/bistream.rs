@@ -152,7 +152,11 @@ mod tests {
     use ssj_text::{RecordId, TokenId};
 
     fn rec(id: u64, toks: &[u32]) -> Record {
-        Record::from_sorted(RecordId(id), id, toks.iter().copied().map(TokenId).collect())
+        Record::from_sorted(
+            RecordId(id),
+            id,
+            toks.iter().copied().map(TokenId).collect(),
+        )
     }
 
     /// Reference bi-join: all cross-stream pairs within the window.
@@ -163,7 +167,10 @@ mod tests {
                 if side == other_side {
                     continue;
                 }
-                if cfg.window.expired(s.id().0, s.timestamp(), r.id().0, r.timestamp()) {
+                if cfg
+                    .window
+                    .expired(s.id().0, s.timestamp(), r.id().0, r.timestamp())
+                {
                     continue;
                 }
                 let o = verify::overlap(r.tokens(), s.tokens());
@@ -183,7 +190,10 @@ mod tests {
             // family appears on both sides and cross-stream matches exist.
             let fam = (i % 3) as u32 * 30;
             let side = if i % 2 == 0 { Side::Left } else { Side::Right };
-            v.push((side, rec(i, &[fam, fam + 1, fam + 2, fam + 3 + (i % 2) as u32])));
+            v.push((
+                side,
+                rec(i, &[fam, fam + 1, fam + 2, fam + 3 + (i % 2) as u32]),
+            ));
         }
         v
     }

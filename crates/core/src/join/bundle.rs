@@ -322,9 +322,7 @@ impl BundleJoiner {
 
             if groupable {
                 let sim_rep = t.similarity(o_rep, lr, lrep);
-                if sim_rep >= self.cfg.bundle_tau
-                    && best.is_none_or(|(_, s)| sim_rep > s)
-                {
+                if sim_rep >= self.cfg.bundle_tau && best.is_none_or(|(_, s)| sim_rep > s) {
                     best = Some((slot, sim_rep));
                 }
             }
@@ -365,8 +363,7 @@ impl BundleJoiner {
                 let max_delta =
                     ((self.cfg.max_delta_frac * bundle.rep.len() as f64).floor() as usize).max(1);
                 let (add, del) = token_deltas(record.tokens(), bundle.rep.tokens());
-                if bundle.members.len() < self.cfg.max_members
-                    && add.len() + del.len() <= max_delta
+                if bundle.members.len() < self.cfg.max_members && add.len() + del.len() <= max_delta
                 {
                     // Post any prefix tokens this member brings that the
                     // bundle has not posted yet (keeps the union invariant).
@@ -421,11 +418,35 @@ impl BundleJoiner {
             self.index.add(tok, Posting { slot, pos: 0 });
             self.stats.postings_created += 1;
         }
-        self.queue.push(record.id().0, record.timestamp(), (slot, 0));
+        self.queue
+            .push(record.id().0, record.timestamp(), (slot, 0));
         self.live_members += 1;
         self.stats.bundles_created += 1;
         self.stats.indexed += 1;
     }
+}
+
+/// Inverse of [`token_deltas`]: reconstructs a member's token set
+/// `(rep \ del) ∪ add` as one sorted merge. Exact because `del ⊆ rep` and
+/// `add ∩ rep = ∅` (the delta invariants).
+fn apply_deltas(rep: &[TokenId], add: &[TokenId], del: &[TokenId]) -> Vec<TokenId> {
+    let mut out = Vec::with_capacity((rep.len() + add.len()).saturating_sub(del.len()));
+    let mut ai = 0;
+    let mut di = 0;
+    for &tok in rep {
+        while ai < add.len() && add[ai] < tok {
+            out.push(add[ai]);
+            ai += 1;
+        }
+        if di < del.len() && del[di] == tok {
+            di += 1;
+            continue;
+        }
+        out.push(tok);
+    }
+    out.extend_from_slice(&add[ai..]);
+    debug_assert_eq!(di, del.len(), "del must be a subset of rep");
+    out
 }
 
 /// `(a \ b, b \ a)` of two sorted token slices.
@@ -479,6 +500,25 @@ impl StreamJoiner for BundleJoiner {
         self.insert_with(record, target);
     }
 
+    fn window_snapshot(&self) -> Vec<Record> {
+        // The queue holds (bundle, member) handles in arrival order; each
+        // member's full token set is reconstructed from its delta against
+        // the representative, so the snapshot is exact even though the
+        // joiner never stores member records.
+        self.queue
+            .entries()
+            .map(|(id, ts, &(slot, member_idx))| {
+                let bundle = self.store.get(slot).expect("queued member in live bundle");
+                let m = &bundle.members[member_idx as usize];
+                debug_assert!(m.alive, "queued member is alive");
+                debug_assert_eq!(m.id.0, id);
+                let tokens = apply_deltas(bundle.rep.tokens(), &m.add, &m.del);
+                debug_assert_eq!(tokens.len(), m.len as usize);
+                Record::from_sorted(m.id, ts, tokens)
+            })
+            .collect()
+    }
+
     fn stats(&self) -> &JoinStats {
         &self.stats
     }
@@ -500,7 +540,11 @@ mod tests {
     use ssj_text::RecordId;
 
     fn rec(id: u64, toks: &[u32]) -> Record {
-        Record::from_sorted(RecordId(id), id, toks.iter().copied().map(TokenId).collect())
+        Record::from_sorted(
+            RecordId(id),
+            id,
+            toks.iter().copied().map(TokenId).collect(),
+        )
     }
 
     fn assert_same_as_naive(cfg: BundleConfig, records: &[Record]) {
@@ -510,7 +554,10 @@ mod tests {
             .iter()
             .map(|m| m.key())
             .collect();
-        let mut got: Vec<_> = run_stream(&mut bj, records).iter().map(|m| m.key()).collect();
+        let mut got: Vec<_> = run_stream(&mut bj, records)
+            .iter()
+            .map(|m| m.key())
+            .collect();
         expect.sort_unstable();
         got.sort_unstable();
         assert_eq!(expect, got);

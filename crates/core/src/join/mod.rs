@@ -98,6 +98,28 @@ pub trait StreamJoiner {
         self.insert(record);
     }
 
+    /// The live window contents as full records, in arrival order.
+    ///
+    /// Together with [`restore`](Self::restore) this is the recovery path:
+    /// a replacement joiner rebuilds its index from the in-window records in
+    /// O(window) work instead of re-processing the whole stream. Joiners
+    /// that store deltas rather than full records (the bundle joiner)
+    /// reconstruct each record exactly, so
+    /// `fresh.restore(&old.window_snapshot())` always reproduces the old
+    /// joiner's visible index state.
+    fn window_snapshot(&self) -> Vec<Record>;
+
+    /// Rebuilds index state from `records`, the in-window portion of the
+    /// stream in arrival order. Index-only: nothing is probed and no
+    /// results are produced. The default insert loop costs O(window)
+    /// because each insert's eviction scan only ever touches
+    /// already-expired entries.
+    fn restore(&mut self, records: &[Record]) {
+        for r in records {
+            self.insert(r);
+        }
+    }
+
     /// Execution counters.
     fn stats(&self) -> &JoinStats;
 
@@ -125,6 +147,14 @@ impl StreamJoiner for Box<dyn StreamJoiner + Send> {
         self.as_mut().process(record, out)
     }
 
+    fn window_snapshot(&self) -> Vec<Record> {
+        self.as_ref().window_snapshot()
+    }
+
+    fn restore(&mut self, records: &[Record]) {
+        self.as_mut().restore(records)
+    }
+
     fn stats(&self) -> &JoinStats {
         self.as_ref().stats()
     }
@@ -146,4 +176,144 @@ pub fn run_stream<J: StreamJoiner + ?Sized>(joiner: &mut J, records: &[Record]) 
         joiner.process(r, &mut out);
     }
     out
+}
+
+#[cfg(test)]
+mod snapshot_tests {
+    //! The snapshot/restore contract every joiner must satisfy: after any
+    //! prefix of the stream, `fresh.restore(&old.window_snapshot())` yields
+    //! a joiner whose observable behavior on the rest of the stream is
+    //! identical to the original's.
+
+    use super::*;
+    use ssj_text::TokenId;
+
+    fn rec(id: u64, toks: &[u32]) -> Record {
+        Record::from_sorted(
+            RecordId(id),
+            id * 10,
+            toks.iter().copied().map(TokenId).collect(),
+        )
+    }
+
+    /// A stream mixing near-duplicate families (so bundles actually form)
+    /// with singletons, under ids 0..n and timestamps 10·id.
+    fn family_stream(n: u64) -> Vec<Record> {
+        (0..n)
+            .map(|i| {
+                let fam = (i % 5) as u32 * 50;
+                let variant = (i % 3) as u32;
+                rec(
+                    i,
+                    &[fam, fam + 1, fam + 2, fam + 3, fam + 4, fam + 6 + variant],
+                )
+            })
+            .collect()
+    }
+
+    fn joiner_under_test(which: &str, cfg: JoinConfig) -> Box<dyn StreamJoiner + Send> {
+        match which {
+            "naive" => Box::new(NaiveJoiner::new(cfg)),
+            "allpairs" => Box::new(AllPairsJoiner::new(cfg)),
+            "ppjoin" => Box::new(PpJoinJoiner::new(cfg)),
+            "ppjoin+" => Box::new(PpJoinJoiner::new_plus(cfg)),
+            "bundle" => Box::new(BundleJoiner::with_defaults(cfg)),
+            other => panic!("unknown joiner {other}"),
+        }
+    }
+
+    const ALL: [&str; 5] = ["naive", "allpairs", "ppjoin", "ppjoin+", "bundle"];
+
+    fn windows() -> [Window; 3] {
+        [Window::Unbounded, Window::Count(12), Window::TimeMs(150)]
+    }
+
+    #[test]
+    fn snapshot_is_the_visible_window_in_arrival_order() {
+        let records = family_stream(40);
+        for window in windows() {
+            let cfg = JoinConfig::jaccard(0.6).with_window(window);
+            let reference = {
+                let mut j = NaiveJoiner::new(cfg);
+                run_stream(&mut j, &records);
+                j.window_snapshot()
+            };
+            assert!(!reference.is_empty());
+            assert!(
+                reference.windows(2).all(|w| w[0].id() < w[1].id()),
+                "snapshot out of arrival order"
+            );
+            for which in ALL {
+                let mut j = joiner_under_test(which, cfg);
+                run_stream(&mut j, &records);
+                let snap = j.window_snapshot();
+                assert_eq!(snap.len(), j.stored(), "{which} {window:?}");
+                let got: Vec<_> = snap
+                    .iter()
+                    .map(|r| (r.id(), r.timestamp(), r.tokens().to_vec()))
+                    .collect();
+                let want: Vec<_> = reference
+                    .iter()
+                    .map(|r| (r.id(), r.timestamp(), r.tokens().to_vec()))
+                    .collect();
+                assert_eq!(got, want, "{which} {window:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn restore_from_snapshot_resumes_exactly() {
+        let records = family_stream(60);
+        let (head, tail) = records.split_at(40);
+        for window in windows() {
+            let cfg = JoinConfig::jaccard(0.6).with_window(window);
+            for which in ALL {
+                let mut original = joiner_under_test(which, cfg);
+                run_stream(&mut original, head);
+                let snap = original.window_snapshot();
+
+                let mut fresh = joiner_under_test(which, cfg);
+                fresh.restore(&snap);
+                assert_eq!(fresh.stored(), snap.len(), "{which} {window:?}");
+
+                let mut expect: Vec<_> = run_stream(&mut original, tail)
+                    .iter()
+                    .map(|m| m.key())
+                    .collect();
+                let mut got: Vec<_> = run_stream(&mut fresh, tail)
+                    .iter()
+                    .map(|m| m.key())
+                    .collect();
+                expect.sort_unstable();
+                got.sort_unstable();
+                assert_eq!(expect, got, "{which} {window:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn restore_produces_no_results() {
+        let records = family_stream(30);
+        for which in ALL {
+            let cfg = JoinConfig::jaccard(0.5);
+            let mut original = joiner_under_test(which, cfg);
+            run_stream(&mut original, &records);
+            let mut fresh = joiner_under_test(which, cfg);
+            fresh.restore(&original.window_snapshot());
+            assert_eq!(fresh.stats().results, 0, "{which} emitted during restore");
+            assert_eq!(fresh.stats().probed, 0, "{which} probed during restore");
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        for which in ALL {
+            let cfg = JoinConfig::jaccard(0.8);
+            let j = joiner_under_test(which, cfg);
+            assert!(j.window_snapshot().is_empty(), "{which}");
+            let mut fresh = joiner_under_test(which, cfg);
+            fresh.restore(&[]);
+            assert_eq!(fresh.stored(), 0, "{which}");
+        }
+    }
 }

@@ -36,12 +36,10 @@ impl StreamJoiner for NaiveJoiner {
 
     fn probe(&mut self, record: &Record, out: &mut Vec<MatchPair>) {
         let stats = &mut self.stats;
-        stats.evicted += self.live.drain_expired(
-            self.cfg.window,
-            record.id().0,
-            record.timestamp(),
-            |_| {},
-        ) as u64;
+        stats.evicted +=
+            self.live
+                .drain_expired(self.cfg.window, record.id().0, record.timestamp(), |_| {})
+                as u64;
         let t = self.cfg.threshold;
         for s in self.live.iter() {
             stats.verifications += 1;
@@ -60,15 +58,17 @@ impl StreamJoiner for NaiveJoiner {
     }
 
     fn insert(&mut self, record: &Record) {
-        self.stats.evicted += self.live.drain_expired(
-            self.cfg.window,
-            record.id().0,
-            record.timestamp(),
-            |_| {},
-        ) as u64;
+        self.stats.evicted +=
+            self.live
+                .drain_expired(self.cfg.window, record.id().0, record.timestamp(), |_| {})
+                as u64;
         self.live
             .push(record.id().0, record.timestamp(), record.clone());
         self.stats.indexed += 1;
+    }
+
+    fn window_snapshot(&self) -> Vec<Record> {
+        self.live.iter().cloned().collect()
     }
 
     fn stats(&self) -> &JoinStats {
@@ -93,7 +93,11 @@ mod tests {
     use ssj_text::{RecordId, TokenId};
 
     fn rec(id: u64, toks: &[u32]) -> Record {
-        Record::from_sorted(RecordId(id), id, toks.iter().copied().map(TokenId).collect())
+        Record::from_sorted(
+            RecordId(id),
+            id,
+            toks.iter().copied().map(TokenId).collect(),
+        )
     }
 
     #[test]
@@ -129,10 +133,7 @@ mod tests {
         };
         let mut j = NaiveJoiner::new(cfg);
         // r2 matches r0 but r0 is out of the (size-1) window by then.
-        let out = run_stream(
-            &mut j,
-            &[rec(0, &[1, 2]), rec(1, &[7, 8]), rec(2, &[1, 2])],
-        );
+        let out = run_stream(&mut j, &[rec(0, &[1, 2]), rec(1, &[7, 8]), rec(2, &[1, 2])]);
         assert!(out.is_empty());
         assert_eq!(j.stored(), 2); // r1 evicted... r1+r2 remain after final insert
         assert!(j.stats().evicted >= 1);
@@ -141,10 +142,7 @@ mod tests {
     #[test]
     fn all_pairs_of_triplet() {
         let mut j = NaiveJoiner::new(JoinConfig::jaccard(0.99));
-        let out = run_stream(
-            &mut j,
-            &[rec(0, &[4, 5]), rec(1, &[4, 5]), rec(2, &[4, 5])],
-        );
+        let out = run_stream(&mut j, &[rec(0, &[4, 5]), rec(1, &[4, 5]), rec(2, &[4, 5])]);
         // (0,1), (0,2), (1,2)
         assert_eq!(out.len(), 3);
         let keys: Vec<_> = out.iter().map(|m| m.key()).collect();

@@ -225,6 +225,13 @@ impl StreamJoiner for PpJoinJoiner {
         self.stats.indexed += 1;
     }
 
+    fn window_snapshot(&self) -> Vec<Record> {
+        self.queue
+            .iter()
+            .map(|&slot| self.store.get(slot).expect("queued slot is live").clone())
+            .collect()
+    }
+
     fn stats(&self) -> &JoinStats {
         &self.stats
     }
@@ -247,7 +254,11 @@ mod tests {
     use ssj_text::{RecordId, TokenId};
 
     fn rec(id: u64, toks: &[u32]) -> Record {
-        Record::from_sorted(RecordId(id), id, toks.iter().copied().map(TokenId).collect())
+        Record::from_sorted(
+            RecordId(id),
+            id,
+            toks.iter().copied().map(TokenId).collect(),
+        )
     }
 
     fn assert_same_as_naive(cfg: JoinConfig, records: &[Record]) {
@@ -257,7 +268,10 @@ mod tests {
             .iter()
             .map(|m| m.key())
             .collect();
-        let mut got: Vec<_> = run_stream(&mut pp, records).iter().map(|m| m.key()).collect();
+        let mut got: Vec<_> = run_stream(&mut pp, records)
+            .iter()
+            .map(|m| m.key())
+            .collect();
         expect.sort_unstable();
         got.sort_unstable();
         assert_eq!(expect, got);
@@ -280,7 +294,10 @@ mod tests {
         let records: Vec<Record> = (0..40)
             .map(|i| {
                 let b = (i % 4) as u32 * 100;
-                rec(i, &[b, b + 1, b + 2, b + 3, b + 4, b + 5, 1000 + i as u32 % 3])
+                rec(
+                    i,
+                    &[b, b + 1, b + 2, b + 3, b + 4, b + 5, 1000 + i as u32 % 3],
+                )
             })
             .collect();
         assert_same_as_naive(JoinConfig::jaccard(0.8), &records);
@@ -318,7 +335,10 @@ mod tests {
         let records: Vec<Record> = (0..60)
             .map(|i| {
                 let b = (i % 5) as u32 * 40;
-                rec(i, &[b, b + 1, b + 2, b + 3, b + 4, b + 5, 500 + (i % 3) as u32])
+                rec(
+                    i,
+                    &[b, b + 1, b + 2, b + 3, b + 4, b + 5, 500 + (i % 3) as u32],
+                )
             })
             .collect();
         for tau in [0.5, 0.7, 0.9] {
@@ -358,7 +378,10 @@ mod tests {
             plus.process(&mk(100 + i as u64, *base), &mut out);
         }
         assert!(out.is_empty());
-        assert!(plus.stats().suffix_filtered > 0, "suffix filter never fired");
+        assert!(
+            plus.stats().suffix_filtered > 0,
+            "suffix filter never fired"
+        );
         assert!(
             plus.stats().verifications < plain.stats().verifications,
             "plus {} vs plain {}",

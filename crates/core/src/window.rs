@@ -64,7 +64,9 @@ impl<T> EvictionQueue<T> {
     /// across calls (streams arrive in order); this is debug-asserted.
     pub fn push(&mut self, id: u64, ts: u64, payload: T) {
         debug_assert!(
-            self.entries.back().is_none_or(|&(i, t, _)| i <= id && t <= ts),
+            self.entries
+                .back()
+                .is_none_or(|&(i, t, _)| i <= id && t <= ts),
             "eviction queue requires arrival order"
         );
         self.entries.push_back((id, ts, payload));
@@ -95,6 +97,15 @@ impl<T> EvictionQueue<T> {
     /// Iterates the live payloads in arrival order.
     pub fn iter(&self) -> impl Iterator<Item = &T> {
         self.entries.iter().map(|(_, _, payload)| payload)
+    }
+
+    /// Iterates the live entries as `(id, timestamp, payload)` in arrival
+    /// order. Used by the snapshot path, where the stored payload alone does
+    /// not carry its arrival coordinates.
+    pub fn entries(&self) -> impl Iterator<Item = (u64, u64, &T)> {
+        self.entries
+            .iter()
+            .map(|(id, ts, payload)| (*id, *ts, payload))
     }
 
     /// Mutable access to every stored payload (used to rewrite slot handles
@@ -178,7 +189,10 @@ mod tests {
     fn eviction_queue_unbounded_never_drains() {
         let mut q = EvictionQueue::new();
         q.push(0, 0, ());
-        assert_eq!(q.drain_expired(Window::Unbounded, 1 << 40, 1 << 40, |_| {}), 0);
+        assert_eq!(
+            q.drain_expired(Window::Unbounded, 1 << 40, 1 << 40, |_| {}),
+            0
+        );
         assert_eq!(q.len(), 1);
     }
 }

@@ -1,10 +1,11 @@
 //! The three processing vertices of the join topology.
 
 use crate::msg::{JoinMsg, RecordMsg};
+use crate::recovery::{RecoveryState, ReplayEntry};
 use crate::route::{token_owner, Router};
 use parking_lot::Mutex;
-use ssj_core::window::EvictionQueue;
 use ssj_core::join::bistream::BiStreamJoiner;
+use ssj_core::window::EvictionQueue;
 use ssj_core::{JoinStats, MatchPair, StreamJoiner, Threshold, Window};
 use ssj_text::{FxHashMap, Record, RecordId, TokenId};
 use std::sync::Arc;
@@ -14,12 +15,32 @@ use stormlite::{Bolt, LatencyHistogram, Outbox};
 /// Routes each arriving record to its index/probe joiners. One task.
 pub struct DispatcherBolt<R: Router> {
     router: R,
+    /// Replay buffers fed for every index target (fault-injected runs only).
+    recovery: Option<Arc<RecoveryState>>,
 }
 
 impl<R: Router> DispatcherBolt<R> {
     /// A dispatcher around a router.
     pub fn new(router: R) -> Self {
-        Self { router }
+        Self {
+            router,
+            recovery: None,
+        }
+    }
+
+    /// Feeds the recovery replay buffers as records are routed.
+    pub fn with_recovery(mut self, recovery: Option<Arc<RecoveryState>>) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Buffers `payload` for replay at `task` before its index message is
+    /// emitted (the ordering [`RecoveryState::buffer_index_target`]
+    /// requires).
+    fn buffer_for_replay(&self, task: usize, payload: &RecordMsg) {
+        if let Some(recovery) = &self.recovery {
+            recovery.buffer_index_target(task, ReplayEntry::from_payload(payload));
+        }
     }
 }
 
@@ -47,6 +68,7 @@ impl<R: Router> Bolt<JoinMsg> for DispatcherBolt<R> {
                     break;
                 }
             }
+            self.buffer_for_replay(ix, &payload);
             if probe_iter.peek() == Some(&&ix) {
                 probe_iter.next();
                 out.emit_direct(ix, JoinMsg::ProbeAndIndex(payload.clone()));
@@ -123,12 +145,18 @@ fn first_common(a: &[TokenId], b: &[TokenId]) -> Option<TokenId> {
 pub struct JoinerSnapshot {
     /// Task index of the joiner.
     pub task: usize,
-    /// The local joiner's counters.
+    /// The local joiner's counters (of the final incarnation only — a
+    /// crashed incarnation's counters die with it).
     pub stats: JoinStats,
     /// Records (or bundle members) still stored at drain time.
     pub stored: usize,
     /// Inverted-index postings at drain time.
     pub postings: usize,
+    /// Which incarnation of this task survived to the drain (0 = the task
+    /// never crashed; only meaningful in fault-injected runs).
+    pub incarnation: u64,
+    /// Records replayed into this task across all of its restarts.
+    pub replayed: u64,
 }
 
 /// The joiner's local state: one index for self-joins, a pair of indexes
@@ -155,6 +183,22 @@ impl LocalState {
         }
     }
 
+    /// Rebuilds index state from replayed entries — index-only, nothing is
+    /// probed and no results are produced.
+    fn restore(&mut self, entries: &[ReplayEntry]) {
+        match self {
+            LocalState::Solo(j) => {
+                let records: Vec<Record> = entries.iter().map(|e| e.record.clone()).collect();
+                j.restore(&records);
+            }
+            LocalState::Bi(j) => {
+                for e in entries {
+                    j.insert(e.side.expect("bi-stream entries carry a side"), &e.record);
+                }
+            }
+        }
+    }
+
     fn snapshot(&mut self, task: usize) -> JoinerSnapshot {
         match self {
             LocalState::Solo(j) => JoinerSnapshot {
@@ -162,6 +206,8 @@ impl LocalState {
                 stats: j.stats().clone(),
                 stored: j.stored(),
                 postings: j.postings(),
+                incarnation: 0,
+                replayed: 0,
             },
             LocalState::Bi(j) => {
                 let stored = j.stored();
@@ -171,6 +217,8 @@ impl LocalState {
                     stats: j.stats().clone(),
                     stored,
                     postings,
+                    incarnation: 0,
+                    replayed: 0,
                 }
             }
         }
@@ -185,6 +233,8 @@ pub struct JoinerBolt {
     task: usize,
     buf: Vec<MatchPair>,
     snapshots: Arc<Mutex<Vec<JoinerSnapshot>>>,
+    recovery: Option<Arc<RecoveryState>>,
+    incarnation: u64,
 }
 
 impl JoinerBolt {
@@ -193,6 +243,7 @@ impl JoinerBolt {
         dedup_cfg: Option<(Threshold, Window, usize)>,
         task: usize,
         snapshots: Arc<Mutex<Vec<JoinerSnapshot>>>,
+        recovery: Option<Arc<RecoveryState>>,
     ) -> Self {
         let dedup = dedup_cfg.map(|(threshold, window, k)| PrefixDedup {
             threshold,
@@ -202,24 +253,57 @@ impl JoinerBolt {
             prefixes: FxHashMap::default(),
             queue: EvictionQueue::new(),
         });
-        Self {
+        let mut bolt = Self {
             local,
             dedup,
             task,
             buf: Vec::new(),
             snapshots,
+            recovery,
+            incarnation: 0,
+        };
+        bolt.replay_lost_state();
+        bolt
+    }
+
+    /// Crash recovery: a restarted incarnation rebuilds the index state its
+    /// predecessor lost by replaying the buffered in-window index targets
+    /// up to the processing watermark (see [`crate::recovery`]). Index-only
+    /// — replay re-emits nothing, so no result pair is duplicated.
+    fn replay_lost_state(&mut self) {
+        let Some(recovery) = &self.recovery else {
+            return;
+        };
+        self.incarnation = recovery.begin_incarnation(self.task);
+        if self.incarnation == 0 {
+            return;
+        }
+        let entries = recovery.replay_for(self.task);
+        self.local.restore(&entries);
+        if let Some(d) = &mut self.dedup {
+            for e in &entries {
+                d.on_index(&e.record);
+            }
         }
     }
 
     /// A self-join joiner bolt. `dedup_cfg` must be provided exactly when
-    /// the router replicates records (`Router::needs_result_dedup`).
+    /// the router replicates records (`Router::needs_result_dedup`);
+    /// `recovery` exactly when the run injects faults.
     pub fn new(
         joiner: Box<dyn StreamJoiner + Send>,
         dedup_cfg: Option<(Threshold, Window, usize)>,
         task: usize,
         snapshots: Arc<Mutex<Vec<JoinerSnapshot>>>,
+        recovery: Option<Arc<RecoveryState>>,
     ) -> Self {
-        Self::with_state(LocalState::Solo(joiner), dedup_cfg, task, snapshots)
+        Self::with_state(
+            LocalState::Solo(joiner),
+            dedup_cfg,
+            task,
+            snapshots,
+            recovery,
+        )
     }
 
     /// A bi-stream (R–S) joiner bolt holding one index per side.
@@ -228,12 +312,14 @@ impl JoinerBolt {
         dedup_cfg: Option<(Threshold, Window, usize)>,
         task: usize,
         snapshots: Arc<Mutex<Vec<JoinerSnapshot>>>,
+        recovery: Option<Arc<RecoveryState>>,
     ) -> Self {
         Self::with_state(
             LocalState::Bi(BiStreamJoiner::new(factory)),
             dedup_cfg,
             task,
             snapshots,
+            recovery,
         )
     }
 
@@ -269,6 +355,7 @@ impl JoinerBolt {
 
 impl Bolt<JoinMsg> for JoinerBolt {
     fn execute(&mut self, msg: JoinMsg, out: &mut Outbox<JoinMsg>) {
+        let processed = msg.record().map(|r| (r.id().0, r.timestamp()));
         match msg {
             JoinMsg::Probe(payload) => {
                 self.advance_dedup(&payload.record);
@@ -285,10 +372,19 @@ impl Bolt<JoinMsg> for JoinerBolt {
             }
             JoinMsg::Result { .. } => unreachable!("joiners do not receive results"),
         }
+        // Watermark last: published only once the record's effects (results
+        // emitted, index updated) are fully visible.
+        if let (Some(recovery), Some((id, ts))) = (&self.recovery, processed) {
+            recovery.mark_processed(self.task, id, ts);
+        }
     }
 
     fn finish(&mut self, _out: &mut Outbox<JoinMsg>) {
-        let snapshot = self.local.snapshot(self.task);
+        let mut snapshot = self.local.snapshot(self.task);
+        snapshot.incarnation = self.incarnation;
+        if let Some(recovery) = &self.recovery {
+            snapshot.replayed = recovery.replayed(self.task);
+        }
         self.snapshots.lock().push(snapshot);
     }
 }
@@ -343,10 +439,7 @@ mod tests {
         );
         assert_eq!(first_common(&tid(&[1, 2]), &tid(&[3, 4])), None);
         assert_eq!(first_common(&tid(&[]), &tid(&[1])), None);
-        assert_eq!(
-            first_common(&tid(&[7]), &tid(&[7])),
-            Some(TokenId(7))
-        );
+        assert_eq!(first_common(&tid(&[7]), &tid(&[7])), Some(TokenId(7)));
     }
 
     #[test]

@@ -4,6 +4,7 @@
 
 use crate::bolts::{DispatcherBolt, JoinerBolt, JoinerSnapshot, SinkBolt, SinkState};
 use crate::msg::{JoinMsg, RecordMsg};
+use crate::recovery::RecoveryState;
 use crate::route::{BroadcastRouter, EpochRouter, LengthRouter, PrefixRouter, Router};
 use parking_lot::Mutex;
 use ssj_core::{
@@ -17,7 +18,7 @@ use ssj_partition::{
 use ssj_text::Record;
 use std::sync::Arc;
 use std::time::Instant;
-use stormlite::{Grouping, LatencyHistogram, RunReport, Topology};
+use stormlite::{FaultPlan, Grouping, LatencyHistogram, RunReport, Topology};
 
 /// Which local join algorithm each joiner runs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -172,6 +173,12 @@ pub struct DistributedJoinConfig {
     /// Pace the source to this many records per second (`None` = as fast
     /// as the pipeline accepts; used by the latency experiments).
     pub source_rate: Option<f64>,
+    /// Injected joiner crashes for recovery testing. `None` (the default
+    /// everywhere outside fault experiments) skips all recovery machinery,
+    /// so fault-free runs pay nothing. Plans may only target `"joiner"`
+    /// tasks: the dispatcher is stateful-built-once and the sink keeps its
+    /// state in shared memory, so neither needs (nor supports) replay.
+    pub fault: Option<FaultPlan>,
 }
 
 impl DistributedJoinConfig {
@@ -188,7 +195,14 @@ impl DistributedJoinConfig {
             },
             channel_capacity: 1024,
             source_rate: None,
+            fault: None,
         }
+    }
+
+    /// Adds an injected fault plan (see [`FaultPlan`]).
+    pub fn with_fault(mut self, fault: FaultPlan) -> Self {
+        self.fault = Some(fault);
+        self
     }
 }
 
@@ -282,10 +296,7 @@ impl DistributedJoinResult {
 
 /// Runs `records` through the configured distributed self-join and returns
 /// the exact result set plus all measurements.
-pub fn run_distributed(
-    records: &[Record],
-    cfg: &DistributedJoinConfig,
-) -> DistributedJoinResult {
+pub fn run_distributed(records: &[Record], cfg: &DistributedJoinConfig) -> DistributedJoinResult {
     let source: Vec<JoinMsg> = records
         .iter()
         .map(|r| JoinMsg::ProbeAndIndex(RecordMsg::solo(r.clone(), Instant::now())))
@@ -343,8 +354,7 @@ fn run_internal(
         Strategy::LengthOnline { sample, epoch } => {
             let take = (*sample).clamp(1, arrival_order.len().max(1));
             let sample = &arrival_order[..take.min(arrival_order.len())];
-            let initial =
-                calibrate_partition(sample, threshold, cfg.k, PartitionMethod::LoadAware);
+            let initial = calibrate_partition(sample, threshold, cfg.k, PartitionMethod::LoadAware);
             Box::new(EpochRouter::new(EpochedPartitioner::new(
                 threshold, window, initial, *epoch,
             )))
@@ -354,11 +364,24 @@ fn run_internal(
     };
     let needs_dedup = router.needs_result_dedup();
 
+    let recovery: Option<Arc<RecoveryState>> = cfg.fault.as_ref().map(|plan| {
+        for spec in plan.specs() {
+            assert_eq!(
+                spec.component, "joiner",
+                "fault plans may only crash joiner tasks"
+            );
+        }
+        Arc::new(RecoveryState::new(cfg.k, window))
+    });
+
     let sink_state = Arc::new(Mutex::new(SinkState::default()));
     let snapshots: Arc<Mutex<Vec<JoinerSnapshot>>> = Arc::new(Mutex::new(Vec::new()));
 
     let mut topology: Topology<JoinMsg> =
         Topology::new().with_channel_capacity(cfg.channel_capacity);
+    if let Some(plan) = &cfg.fault {
+        topology = topology.with_fault_plan(plan.clone());
+    }
     match cfg.source_rate {
         Some(rate) => topology.spout(
             "source",
@@ -369,7 +392,7 @@ fn run_internal(
 
     // The dispatcher is stateful (routers mutate) and single-task; move the
     // router into the one instance the factory builds.
-    let mut router_slot = Some(DispatcherBolt::new(router));
+    let mut router_slot = Some(DispatcherBolt::new(router).with_recovery(recovery.clone()));
     topology.bolt("dispatcher", 1, move |_| {
         router_slot.take().expect("dispatcher built once")
     });
@@ -386,9 +409,16 @@ fn run_internal(
                 dedup,
                 task,
                 Arc::clone(&snaps),
+                recovery.clone(),
             )
         } else {
-            JoinerBolt::new(local.build(join_cfg), dedup, task, Arc::clone(&snaps))
+            JoinerBolt::new(
+                local.build(join_cfg),
+                dedup,
+                task,
+                Arc::clone(&snaps),
+                recovery.clone(),
+            )
         }
     });
 
@@ -468,6 +498,7 @@ mod tests {
                 },
                 channel_capacity: 256,
                 source_rate: None,
+                fault: None,
             };
             assert_eq!(run_keys(&records, &cfg), expect, "local={}", local.name());
         }
@@ -485,6 +516,7 @@ mod tests {
             strategy: Strategy::Prefix,
             channel_capacity: 256,
             source_rate: None,
+            fault: None,
         };
         assert_eq!(run_keys(&records, &cfg), expect);
     }
@@ -501,6 +533,7 @@ mod tests {
             strategy: Strategy::Broadcast,
             channel_capacity: 256,
             source_rate: None,
+            fault: None,
         };
         assert_eq!(run_keys(&records, &cfg), expect);
     }
@@ -527,6 +560,7 @@ mod tests {
                 strategy,
                 channel_capacity: 128,
                 source_rate: None,
+                fault: None,
             };
             assert_eq!(run_keys(&records, &cfg), expect);
         }
@@ -560,6 +594,7 @@ mod tests {
             },
             channel_capacity: 256,
             source_rate: None,
+            fault: None,
         };
         assert_eq!(run_keys(&records, &cfg), expect);
     }
@@ -577,6 +612,7 @@ mod tests {
             },
             channel_capacity: 256,
             source_rate: None,
+            fault: None,
         };
         let result = run_distributed(&records, &cfg);
         assert!((result.replication() - 1.0).abs() < 1e-9);
@@ -589,8 +625,7 @@ mod tests {
         // fans each record out to almost every owner while length routing
         // indexes exactly once and probes a narrow partition interval.
         use ssj_workloads::{DatasetProfile, StreamGenerator};
-        let records =
-            StreamGenerator::new(DatasetProfile::enron(), 42).take_records(300);
+        let records = StreamGenerator::new(DatasetProfile::enron(), 42).take_records(300);
         let join = JoinConfig::jaccard(0.8);
         let mk = |strategy| DistributedJoinConfig {
             k: 8,
@@ -599,6 +634,7 @@ mod tests {
             strategy,
             channel_capacity: 256,
             source_rate: None,
+            fault: None,
         };
         let length = run_distributed(
             &records,
@@ -627,6 +663,7 @@ mod tests {
             },
             channel_capacity: 64,
             source_rate: None,
+            fault: None,
         };
         assert_eq!(run_keys(&records, &cfg), expect);
     }
@@ -689,6 +726,7 @@ mod tests {
                 strategy,
                 channel_capacity: 128,
                 source_rate: None,
+                fault: None,
             };
             let out = run_bistream_distributed(&left, &right, &cfg);
             let mut got: Vec<_> = out.pairs.iter().map(|m| m.key()).collect();
@@ -715,12 +753,147 @@ mod tests {
             },
             channel_capacity: 64,
             source_rate: None,
+            fault: None,
         };
         let out = run_bistream_distributed(&left, &right, &cfg);
         let mut got: Vec<_> = out.pairs.iter().map(|m| m.key()).collect();
         got.sort_unstable();
         assert_eq!(got, expect);
         assert_eq!(out.records, left.len() + right.len());
+    }
+
+    #[test]
+    fn injected_joiner_crash_recovers_exactly() {
+        let records = workload(800, 0.3);
+        let join = JoinConfig {
+            threshold: Threshold::jaccard(0.7),
+            window: Window::Count(150),
+        };
+        let expect = ground_truth(&records, join);
+        for strategy in [
+            Strategy::LengthAuto {
+                method: PartitionMethod::LoadAware,
+                sample: 100,
+            },
+            Strategy::Prefix,
+            Strategy::Broadcast,
+        ] {
+            let name = strategy.name();
+            let cfg = DistributedJoinConfig {
+                k: 4,
+                join,
+                local: LocalAlgo::PpJoin,
+                strategy,
+                channel_capacity: 128,
+                source_rate: None,
+                fault: Some(FaultPlan::new().crash("joiner", 1, 40)),
+            };
+            let result = run_distributed(&records, &cfg);
+            let mut keys: Vec<_> = result.pairs.iter().map(|m| m.key()).collect();
+            keys.sort_unstable();
+            assert_eq!(
+                keys.windows(2).filter(|w| w[0] == w[1]).count(),
+                0,
+                "duplicate pairs after recovery ({name})"
+            );
+            assert_eq!(keys, expect, "lost or spurious pairs ({name})");
+            assert_eq!(result.report.total_restarts(), 1, "{name}");
+            assert_eq!(result.joiners[1].incarnation, 1, "{name}");
+            assert!(
+                result.joiners[1].replayed > 0,
+                "restart replayed nothing ({name})"
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_crashes_on_several_joiners_recover() {
+        let records = workload(900, 0.4);
+        let join = JoinConfig {
+            threshold: Threshold::jaccard(0.65),
+            window: Window::Count(200),
+        };
+        let expect = ground_truth(&records, join);
+        let cfg = DistributedJoinConfig {
+            k: 3,
+            join,
+            local: LocalAlgo::bundle(),
+            strategy: Strategy::LengthAuto {
+                method: PartitionMethod::EqualDepth,
+                sample: 150,
+            },
+            channel_capacity: 128,
+            source_rate: None,
+            // Task 0 dies twice; task 2 dies once, before any input.
+            fault: Some(
+                FaultPlan::new()
+                    .crash("joiner", 0, 30)
+                    .crash("joiner", 0, 120)
+                    .crash("joiner", 2, 0),
+            ),
+        };
+        let result = run_distributed(&records, &cfg);
+        assert_eq!(run_keys_of(&result), expect);
+        assert_eq!(result.report.total_restarts(), 3);
+        assert_eq!(result.joiners[0].incarnation, 2);
+        assert_eq!(result.joiners[2].incarnation, 1);
+    }
+
+    #[test]
+    fn bistream_crash_recovers_exactly() {
+        let (left, right) = split_workload(700);
+        let join = JoinConfig {
+            threshold: Threshold::jaccard(0.6),
+            window: Window::Count(120),
+        };
+        let expect = bistream_ground_truth(&left, &right, join);
+        assert!(!expect.is_empty());
+        let cfg = DistributedJoinConfig {
+            k: 3,
+            join,
+            local: LocalAlgo::PpJoin,
+            strategy: Strategy::LengthAuto {
+                method: PartitionMethod::LoadAware,
+                sample: 100,
+            },
+            channel_capacity: 64,
+            source_rate: None,
+            fault: Some(FaultPlan::new().crash("joiner", 0, 50)),
+        };
+        let out = run_bistream_distributed(&left, &right, &cfg);
+        assert_eq!(run_keys_of(&out), expect);
+        assert_eq!(out.report.total_restarts(), 1);
+    }
+
+    #[test]
+    fn fault_free_run_with_plan_absent_has_no_recovery_metadata() {
+        let records = workload(300, 0.3);
+        let cfg = DistributedJoinConfig::recommended(2, JoinConfig::jaccard(0.8));
+        assert!(cfg.fault.is_none());
+        let result = run_distributed(&records, &cfg);
+        assert_eq!(result.report.total_restarts(), 0);
+        assert!(result.joiners.iter().all(|j| j.incarnation == 0));
+        assert!(result.joiners.iter().all(|j| j.replayed == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "only crash joiner tasks")]
+    fn faults_on_the_dispatcher_are_rejected() {
+        let records = workload(50, 0.2);
+        let cfg = DistributedJoinConfig::recommended(2, JoinConfig::jaccard(0.8))
+            .with_fault(FaultPlan::new().crash("dispatcher", 0, 5));
+        let _ = run_distributed(&records, &cfg);
+    }
+
+    fn run_keys_of(result: &DistributedJoinResult) -> Vec<(u64, u64)> {
+        let mut keys: Vec<_> = result.pairs.iter().map(|m| m.key()).collect();
+        keys.sort_unstable();
+        assert_eq!(
+            keys.windows(2).filter(|w| w[0] == w[1]).count(),
+            0,
+            "duplicate result pairs"
+        );
+        keys
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub mod bolts;
 pub mod driver;
 pub mod msg;
 pub mod pace;
+pub mod recovery;
 pub mod route;
 
 pub use driver::{
@@ -36,4 +37,5 @@ pub use driver::{
 };
 pub use msg::{JoinMsg, RecordMsg};
 pub use pace::PacedIter;
+pub use recovery::{RecoveryState, ReplayEntry};
 pub use route::{BroadcastRouter, LengthRouter, PrefixRouter, RouteDecision, Router};

@@ -67,6 +67,12 @@ impl JoinMsg {
             JoinMsg::Result { .. } => None,
         }
     }
+
+    /// Whether this message stores its record in the receiving joiner's
+    /// index — the messages the recovery replay buffer must retain.
+    pub fn indexes(&self) -> bool {
+        matches!(self, JoinMsg::Index(_) | JoinMsg::ProbeAndIndex(_))
+    }
 }
 
 impl Message for JoinMsg {

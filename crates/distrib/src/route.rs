@@ -342,11 +342,7 @@ mod tests {
         use ssj_core::verify;
 
         fn random_record(id: u64, toks: &std::collections::BTreeSet<u32>) -> Record {
-            Record::from_sorted(
-                RecordId(id),
-                0,
-                toks.iter().copied().map(TokenId).collect(),
-            )
+            Record::from_sorted(RecordId(id), 0, toks.iter().copied().map(TokenId).collect())
         }
 
         /// The pair is producible iff some joiner both indexed the earlier

@@ -75,11 +75,7 @@ impl CostModel {
         for l in 1..=max_len {
             prefix[l + 1] = prefix[l] + h[l];
         }
-        Self {
-            h,
-            prefix,
-            max_len,
-        }
+        Self { h, prefix, max_len }
     }
 
     /// The length-domain size the model covers.

@@ -197,10 +197,7 @@ impl EpochedPartitioner {
         }
         let version = self.versions_installed;
         self.versions_installed += 1;
-        self.plans
-            .back_mut()
-            .expect("always one plan")
-            .superseded = Some((now_id, now_ts));
+        self.plans.back_mut().expect("always one plan").superseded = Some((now_id, now_ts));
         self.plans.push_back(Plan {
             partition: optimal,
             version,

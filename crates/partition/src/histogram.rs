@@ -49,10 +49,7 @@ impl LengthHistogram {
 
     /// Largest length with a non-zero count (0 if empty).
     pub fn max_len(&self) -> usize {
-        self.counts
-            .iter()
-            .rposition(|&c| c > 0)
-            .unwrap_or(0)
+        self.counts.iter().rposition(|&c| c > 0).unwrap_or(0)
     }
 
     /// Total records counted.
@@ -103,11 +100,7 @@ mod tests {
     use ssj_text::{RecordId, TokenId};
 
     fn rec(len: usize) -> Record {
-        Record::from_sorted(
-            RecordId(0),
-            0,
-            (0..len as u32).map(TokenId).collect(),
-        )
+        Record::from_sorted(RecordId(0), 0, (0..len as u32).map(TokenId).collect())
     }
 
     #[test]

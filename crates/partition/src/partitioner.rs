@@ -379,9 +379,7 @@ mod tests {
             let dp = load_aware(&cost, k);
             let gr = load_aware_greedy(&cost, k);
             let ed = equal_depth(&h, k);
-            let maxload = |p: &LengthPartition| {
-                p.loads(&cost).into_iter().fold(0.0f64, f64::max)
-            };
+            let maxload = |p: &LengthPartition| p.loads(&cost).into_iter().fold(0.0f64, f64::max);
             assert!(
                 maxload(&dp) <= maxload(&gr) * (1.0 + 1e-4),
                 "k={k}: dp {} > greedy {}",

@@ -36,11 +36,13 @@
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod grouping;
 pub mod message;
 pub mod metrics;
 pub mod topology;
 
+pub use fault::{FaultPlan, FaultSpec};
 pub use grouping::Grouping;
 pub use message::{Bolt, CollectorBolt, Message, Outbox};
 pub use metrics::{LatencyHistogram, RunReport, TaskMetrics};

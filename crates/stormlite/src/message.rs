@@ -181,7 +181,10 @@ mod tests {
         }
     }
 
-    fn outbox_with(grouping: Grouping<N>, n: usize) -> (Outbox<N>, Vec<crossbeam::channel::Receiver<Envelope<N>>>) {
+    fn outbox_with(
+        grouping: Grouping<N>,
+        n: usize,
+    ) -> (Outbox<N>, Vec<crossbeam::channel::Receiver<Envelope<N>>>) {
         let mut senders = Vec::new();
         let mut receivers = Vec::new();
         for _ in 0..n {

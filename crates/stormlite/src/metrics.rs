@@ -123,10 +123,16 @@ impl TaskMetrics {
 pub struct RunReport {
     /// `(component, task_index, metrics)` for every task.
     pub tasks: Vec<(String, usize, TaskMetrics)>,
-    /// Tasks that panicked: `(component, task_index, panic message)`. A
-    /// failed task drains (and discards) its remaining input, so the
-    /// topology always completes; results are partial.
+    /// Tasks that panicked: `(component, task_index, panic message)`.
+    /// Injected faults are recorded here too. A failed task that is out of
+    /// restart budget drains (and discards) its remaining input, so the
+    /// topology always completes; results are partial unless the
+    /// application layer recovers the lost state.
     pub failures: Vec<(String, usize, String)>,
+    /// Tasks that were rebuilt after a crash:
+    /// `(component, task_index, restart count)`. Only restarted tasks
+    /// appear.
+    pub restarts: Vec<(String, usize, u64)>,
     /// Wall-clock duration from launch to full drain.
     pub elapsed: Duration,
 }
@@ -135,6 +141,11 @@ impl RunReport {
     /// Whether every task completed without panicking.
     pub fn is_clean(&self) -> bool {
         self.failures.is_empty()
+    }
+
+    /// Total task restarts across the run (injected and organic).
+    pub fn total_restarts(&self) -> u64 {
+        self.restarts.iter().map(|(_, _, n)| n).sum()
     }
 
     /// Sum of tuples processed across all tasks.
@@ -229,6 +240,83 @@ mod tests {
     }
 
     #[test]
+    fn histogram_bucket_edge_at_one_nanosecond() {
+        // 1 ns lands in bucket 0 ([1, 2) ns): the quantile estimate is the
+        // bucket's upper edge, 2 ns — exactly the documented 2× bound.
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_nanos(1));
+        assert_eq!(h.quantile(1.0), Duration::from_nanos(2));
+        assert_eq!(h.max(), Duration::from_nanos(1));
+        // 0 ns is clamped into bucket 0 rather than shifting out of range.
+        let mut z = LatencyHistogram::new();
+        z.record(Duration::ZERO);
+        assert_eq!(z.quantile(1.0), Duration::from_nanos(2));
+    }
+
+    #[test]
+    fn histogram_bucket_edges_at_powers_of_two() {
+        // A sample of exactly 2^k sits at the lower edge of bucket k, so
+        // the estimate 2^(k+1) is exactly 2× — the worst case the bound
+        // promises. One below (2^k - 1) stays in bucket k-1.
+        for k in 1..62u32 {
+            let mut h = LatencyHistogram::new();
+            h.record(Duration::from_nanos(1u64 << k));
+            assert_eq!(
+                h.quantile(1.0),
+                Duration::from_nanos(1u64 << (k + 1)),
+                "2^{k} must report its bucket's upper edge"
+            );
+            let mut low = LatencyHistogram::new();
+            low.record(Duration::from_nanos((1u64 << k) - 1));
+            assert_eq!(
+                low.quantile(1.0),
+                Duration::from_nanos(1u64 << k),
+                "2^{k} - 1 must stay in the bucket below"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_bucket_edge_at_u64_max() {
+        // u64::MAX ns lands in the top bucket (63), whose reported edge is
+        // clamped to 2^63 ns so the estimate stays representable; the
+        // estimate errs *low* here but still within the 2× bound
+        // (u64::MAX / 2^63 < 2).
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_nanos(u64::MAX));
+        assert_eq!(h.quantile(1.0), Duration::from_nanos(1u64 << 63));
+        assert_eq!(h.max(), Duration::from_nanos(u64::MAX));
+        assert!(u64::MAX as f64 / (1u64 << 63) as f64 <= 2.0);
+    }
+
+    #[test]
+    fn histogram_quantile_error_is_within_2x() {
+        // The documented guarantee: for any sample set and any quantile,
+        // estimate / true ∈ [1, 2] (buckets below the clamp). Exercise a
+        // mix of scales, including exact powers of two.
+        let samples: Vec<u64> = (0..2000u64)
+            .map(|i| (i % 60).pow(2) * 37 + i + 1)
+            .chain((0..10).map(|k| 1u64 << (k * 5)))
+            .collect();
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let mut h = LatencyHistogram::new();
+        for &s in &samples {
+            h.record(Duration::from_nanos(s));
+        }
+        for q in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let truth = sorted[rank - 1];
+            let est = h.quantile(q).as_nanos() as u64;
+            assert!(
+                est >= truth && est <= truth.saturating_mul(2),
+                "q={q}: estimate {est} outside [{truth}, {}]",
+                truth.saturating_mul(2)
+            );
+        }
+    }
+
+    #[test]
     fn histogram_empty() {
         let h = LatencyHistogram::new();
         assert_eq!(h.mean(), Duration::ZERO);
@@ -265,9 +353,11 @@ mod tests {
                 ("sink".into(), 0, TaskMetrics::default()),
             ],
             failures: Vec::new(),
+            restarts: Vec::new(),
             elapsed: Duration::from_millis(1),
         };
         assert!(report.is_clean());
+        assert_eq!(report.total_restarts(), 0);
         assert_eq!(report.total_processed(), 12);
         assert_eq!(report.component("joiner").msgs_in, 12);
         assert_eq!(report.component_task_loads("joiner"), vec![5, 7]);

@@ -1,5 +1,6 @@
 //! Topology construction and execution.
 
+use crate::fault::FaultPlan;
 use crate::grouping::Grouping;
 use crate::message::{Bolt, CollectorBolt, Envelope, Message, OutWire, Outbox};
 use crate::metrics::{RunReport, TaskMetrics};
@@ -10,9 +11,11 @@ use std::time::Instant;
 
 const DEFAULT_CHANNEL_CAPACITY: usize = 1024;
 
+type BoltFactory<M> = Box<dyn FnMut(usize) -> Box<dyn Bolt<M>> + Send>;
+
 enum Kind<M: Message> {
     Spout(Option<Box<dyn Iterator<Item = M> + Send>>),
-    Bolt(Box<dyn FnMut(usize) -> Box<dyn Bolt<M>> + Send>),
+    Bolt(BoltFactory<M>),
 }
 
 struct Component<M: Message> {
@@ -36,6 +39,8 @@ pub struct Topology<M: Message> {
     components: Vec<Component<M>>,
     wires: Vec<WireDef<M>>,
     channel_capacity: usize,
+    fault_plan: FaultPlan,
+    restart_budget: u64,
 }
 
 impl<M: Message> Default for Topology<M> {
@@ -51,6 +56,8 @@ impl<M: Message> Topology<M> {
             components: Vec::new(),
             wires: Vec::new(),
             channel_capacity: DEFAULT_CHANNEL_CAPACITY,
+            fault_plan: FaultPlan::new(),
+            restart_budget: 0,
         }
     }
 
@@ -58,6 +65,29 @@ impl<M: Message> Topology<M> {
     pub fn with_channel_capacity(mut self, capacity: usize) -> Self {
         assert!(capacity >= 1, "channels need capacity");
         self.channel_capacity = capacity;
+        self
+    }
+
+    /// Injects the given crash plan into this run. Each injected crash
+    /// tears the targeted bolt instance down at its exact crash point and
+    /// rebuilds it from the component factory; the in-flight tuple is then
+    /// delivered to the fresh instance exactly once. Injected crashes are
+    /// recorded in [`RunReport::failures`] and counted in
+    /// [`RunReport::restarts`].
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Allows each bolt task to survive up to `budget` *organic* panics
+    /// (panics raised by the bolt's own `execute`, as opposed to injected
+    /// faults): the instance is rebuilt from its factory and processing
+    /// continues with the next tuple. The tuple whose `execute` panicked is
+    /// **not** redelivered — it poisoned the instance once and would again.
+    /// The default budget of `0` preserves fail-and-drain semantics: a
+    /// panicked task discards the rest of its input.
+    pub fn with_supervised_restarts(mut self, budget: u64) -> Self {
+        self.restart_budget = budget;
         self
     }
 
@@ -88,11 +118,7 @@ impl<M: Message> Topology<M> {
         I: IntoIterator<Item = M>,
         I::IntoIter: Send + 'static,
     {
-        self.add(
-            name,
-            1,
-            Kind::Spout(Some(Box::new(source.into_iter()))),
-        );
+        self.add(name, 1, Kind::Spout(Some(Box::new(source.into_iter()))));
     }
 
     /// Adds a bolt with `parallelism` tasks; `factory(task_index)` builds
@@ -158,6 +184,30 @@ impl<M: Message> Topology<M> {
             }
         }
         assert_eq!(visited, n, "topology contains a cycle");
+        // Fault plans must target existing bolt tasks: a typo'd component
+        // or out-of-range task silently never firing would make a recovery
+        // test vacuously pass.
+        for spec in self.fault_plan.specs() {
+            let comp = self
+                .components
+                .iter()
+                .find(|c| c.name == spec.component)
+                .unwrap_or_else(|| {
+                    panic!("fault plan targets unknown component '{}'", spec.component)
+                });
+            assert!(
+                matches!(comp.kind, Kind::Bolt(_)),
+                "fault plan targets spout '{}'; only bolts can be crashed and restarted",
+                spec.component
+            );
+            assert!(
+                spec.task < comp.parallelism,
+                "fault plan targets task {} of '{}' (parallelism {})",
+                spec.task,
+                spec.component,
+                comp.parallelism
+            );
+        }
     }
 
     /// Executes the topology to completion and returns the run report.
@@ -232,20 +282,36 @@ impl<M: Message> Topology<M> {
                             .expect("spawn spout"),
                     ));
                 }
-                Kind::Bolt(mut factory) => {
+                Kind::Bolt(factory) => {
+                    // The factory is shared across the component's task
+                    // threads so a supervised task can rebuild its bolt
+                    // instance after a crash.
+                    let factory = Arc::new(Mutex::new(factory));
                     let comp_receivers = std::mem::take(&mut receivers[i]);
                     for (task, rx_slot) in comp_receivers.into_iter().enumerate() {
                         let mut outbox = build_outbox(i, task);
                         let rx = rx_slot.expect("receiver unclaimed");
-                        let mut bolt = factory(task);
                         let expected = expected_eos[i];
                         let name = c.name.clone();
+                        let factory = Arc::clone(&factory);
+                        let fault_points = self.fault_plan.points_for(&c.name, task);
+                        let restart_budget = self.restart_budget;
                         handles.push((
                             c.name.clone(),
                             task,
                             std::thread::Builder::new()
                                 .name(format!("{name}-{task}"))
-                                .spawn(move || run_bolt(&mut *bolt, rx, &mut outbox, expected))
+                                .spawn(move || {
+                                    run_bolt(
+                                        &factory,
+                                        task,
+                                        rx,
+                                        &mut outbox,
+                                        expected,
+                                        fault_points,
+                                        restart_budget,
+                                    )
+                                })
                                 .expect("spawn bolt"),
                         ));
                     }
@@ -259,16 +325,22 @@ impl<M: Message> Topology<M> {
 
         let mut tasks = Vec::new();
         let mut failures = Vec::new();
+        let mut restarts = Vec::new();
         for (name, task, handle) in handles {
-            let (metrics, failure) = handle.join().expect("task thread itself never panics");
-            if let Some(msg) = failure {
+            let (metrics, task_failures, restart_count) =
+                handle.join().expect("task thread itself never panics");
+            for msg in task_failures {
                 failures.push((name.clone(), task, msg));
+            }
+            if restart_count > 0 {
+                restarts.push((name.clone(), task, restart_count));
             }
             tasks.push((name, task, metrics));
         }
         RunReport {
             tasks,
             failures,
+            restarts,
             elapsed: started.elapsed(),
         }
     }
@@ -277,9 +349,9 @@ impl<M: Message> Topology<M> {
 fn run_spout<M: Message>(
     source: Box<dyn Iterator<Item = M> + Send>,
     outbox: &mut Outbox<M>,
-) -> (TaskMetrics, Option<String>) {
+) -> (TaskMetrics, Vec<String>, u64) {
     let mut source = source;
-    let mut failure = None;
+    let mut failures = Vec::new();
     loop {
         // Each pull is isolated: a panicking source stops emitting but the
         // topology still receives EOS and drains cleanly.
@@ -288,13 +360,13 @@ fn run_spout<M: Message>(
             Ok(Some(msg)) => outbox.emit(msg),
             Ok(None) => break,
             Err(panic) => {
-                failure = Some(panic_message(panic));
+                failures.push(panic_message(panic));
                 break;
             }
         }
     }
     outbox.send_eos();
-    (std::mem::take(&mut outbox.metrics), failure)
+    (std::mem::take(&mut outbox.metrics), failures, 0)
 }
 
 /// Renders a caught panic payload for the run report.
@@ -308,44 +380,114 @@ fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Builds a fresh bolt instance, catching a panicking factory.
+fn build_bolt<M: Message>(
+    factory: &Mutex<BoltFactory<M>>,
+    task: usize,
+) -> Result<Box<dyn Bolt<M>>, String> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (factory.lock())(task)))
+        .map_err(panic_message)
+}
+
+#[allow(clippy::too_many_arguments)]
 fn run_bolt<M: Message>(
-    bolt: &mut dyn Bolt<M>,
+    factory: &Mutex<BoltFactory<M>>,
+    task: usize,
     rx: Receiver<Envelope<M>>,
     outbox: &mut Outbox<M>,
     expected_eos: usize,
-) -> (TaskMetrics, Option<String>) {
+    fault_points: Vec<u64>,
+    restart_budget: u64,
+) -> (TaskMetrics, Vec<String>, u64) {
     let mut eos_seen = 0;
-    let mut failure: Option<String> = None;
+    let mut failures: Vec<String> = Vec::new();
+    let mut restarts = 0u64;
+    let mut organic_restarts_left = restart_budget;
+    // Tuples fully processed across all incarnations of this task; injected
+    // crash points are expressed in this count.
+    let mut processed = 0u64;
+    let mut next_fault = fault_points.into_iter().peekable();
+
+    let mut bolt = match build_bolt(factory, task) {
+        Ok(b) => Some(b),
+        Err(msg) => {
+            failures.push(msg);
+            None
+        }
+    };
+
     while let Ok(envelope) = rx.recv() {
         match envelope {
             Envelope::Data(msg, sent_at) => {
                 outbox.metrics.queue_wait.record(sent_at.elapsed());
                 outbox.metrics.msgs_in += 1;
                 outbox.metrics.bytes_in += msg.wire_bytes();
-                if failure.is_some() {
-                    // A failed bolt keeps draining its queue so upstream
+                // Injected crash boundary: the instance dies having fully
+                // processed `processed` tuples, and a fresh instance —
+                // which sees none of the old one's in-memory state — takes
+                // over with this tuple, delivered exactly once.
+                while bolt.is_some() && next_fault.next_if_eq(&processed).is_some() {
+                    failures.push(format!(
+                        "injected fault: task crashed after {processed} tuples"
+                    ));
+                    match build_bolt(factory, task) {
+                        Ok(b) => {
+                            bolt = Some(b);
+                            restarts += 1;
+                        }
+                        Err(msg) => {
+                            failures.push(msg);
+                            bolt = None;
+                        }
+                    }
+                }
+                let Some(instance) = bolt.as_deref_mut() else {
+                    // A dead bolt keeps draining its queue so upstream
                     // senders never block on a dead consumer; tuples are
                     // discarded.
                     continue;
-                }
+                };
                 let t0 = Instant::now();
                 let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    bolt.execute(msg, outbox)
+                    instance.execute(msg, outbox)
                 }));
                 outbox.metrics.busy += t0.elapsed();
-                if let Err(panic) = r {
-                    failure = Some(panic_message(panic));
+                match r {
+                    Ok(()) => processed += 1,
+                    Err(panic) => {
+                        failures.push(panic_message(panic));
+                        // An organic panic consumes its tuple: redelivering
+                        // it to the fresh instance would just crash it
+                        // again. The crashed instance counts as having
+                        // processed it for fault-point bookkeeping.
+                        processed += 1;
+                        if organic_restarts_left > 0 {
+                            organic_restarts_left -= 1;
+                            match build_bolt(factory, task) {
+                                Ok(b) => {
+                                    bolt = Some(b);
+                                    restarts += 1;
+                                }
+                                Err(msg) => {
+                                    failures.push(msg);
+                                    bolt = None;
+                                }
+                            }
+                        } else {
+                            bolt = None;
+                        }
+                    }
                 }
             }
             Envelope::Eos => {
                 eos_seen += 1;
                 if eos_seen == expected_eos {
-                    if failure.is_none() {
+                    if let Some(instance) = bolt.as_deref_mut() {
                         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            bolt.finish(outbox)
+                            instance.finish(outbox)
                         }));
                         if let Err(panic) = r {
-                            failure = Some(panic_message(panic));
+                            failures.push(panic_message(panic));
                         }
                     }
                     outbox.send_eos();
@@ -354,7 +496,7 @@ fn run_bolt<M: Message>(
             }
         }
     }
-    (std::mem::take(&mut outbox.metrics), failure)
+    (std::mem::take(&mut outbox.metrics), failures, restarts)
 }
 
 #[cfg(test)]
@@ -611,6 +753,197 @@ mod tests {
         let _out = t.collector("sink");
         t.wire("src", "sink", Grouping::global());
         assert!(t.run().is_clean());
+    }
+
+    /// Tags each value with the incarnation of the instance that handled
+    /// it, so tests can see exactly where a restart happened and that no
+    /// tuple was lost or duplicated across it.
+    struct IncarnationTag {
+        incarnation: u64,
+    }
+    impl Bolt<N> for IncarnationTag {
+        fn execute(&mut self, msg: N, out: &mut Outbox<N>) {
+            out.emit(N(msg.0 | (self.incarnation << 32)));
+        }
+    }
+
+    fn incarnation_topology(plan: crate::FaultPlan) -> (Vec<(u64, u64)>, RunReport) {
+        let spawned = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let mut t = Topology::new().with_fault_plan(plan);
+        t.spout("src", (0..50u64).map(N));
+        let spawned2 = Arc::clone(&spawned);
+        t.bolt("tag", 1, move |_| IncarnationTag {
+            incarnation: spawned2.fetch_add(1, std::sync::atomic::Ordering::SeqCst),
+        });
+        let out = t.collector("sink");
+        t.wire("src", "tag", Grouping::global());
+        t.wire("tag", "sink", Grouping::global());
+        let report = t.run();
+        let tagged: Vec<(u64, u64)> = out
+            .lock()
+            .iter()
+            .map(|n| (n.0 >> 32, n.0 & 0xFFFF_FFFF))
+            .collect();
+        (tagged, report)
+    }
+
+    #[test]
+    fn injected_fault_restarts_and_redelivers_exactly_once() {
+        let (tagged, report) = incarnation_topology(crate::FaultPlan::new().crash("tag", 0, 20));
+        // Every tuple delivered exactly once, in order, across the crash.
+        let values: Vec<u64> = tagged.iter().map(|&(_, v)| v).collect();
+        assert_eq!(values, (0..50u64).collect::<Vec<_>>());
+        // Tuples 0..20 handled by incarnation 0; the boundary tuple (20)
+        // and everything after by the restarted incarnation 1.
+        for &(inc, v) in &tagged {
+            assert_eq!(inc, u64::from(v >= 20), "value {v} by incarnation {inc}");
+        }
+        assert_eq!(report.restarts, vec![("tag".to_owned(), 0, 1)]);
+        assert_eq!(report.total_restarts(), 1);
+        assert_eq!(report.failures.len(), 1);
+        assert!(report.failures[0].2.contains("injected fault"));
+    }
+
+    #[test]
+    fn injected_fault_before_first_tuple() {
+        let (tagged, report) = incarnation_topology(crate::FaultPlan::new().crash("tag", 0, 0));
+        assert_eq!(tagged.len(), 50);
+        // Incarnation 0 dies untouched; incarnation 1 handles everything.
+        assert!(tagged.iter().all(|&(inc, _)| inc == 1));
+        assert_eq!(report.total_restarts(), 1);
+    }
+
+    #[test]
+    fn multiple_injected_faults_on_one_task() {
+        let plan = crate::FaultPlan::new()
+            .crash("tag", 0, 10)
+            .crash("tag", 0, 30);
+        let (tagged, report) = incarnation_topology(plan);
+        let values: Vec<u64> = tagged.iter().map(|&(_, v)| v).collect();
+        assert_eq!(values, (0..50u64).collect::<Vec<_>>());
+        for &(inc, v) in &tagged {
+            let expect = if v < 10 {
+                0
+            } else if v < 30 {
+                1
+            } else {
+                2
+            };
+            assert_eq!(inc, expect, "value {v} by incarnation {inc}");
+        }
+        assert_eq!(report.total_restarts(), 2);
+    }
+
+    #[test]
+    fn fault_point_past_stream_end_never_fires() {
+        let (tagged, report) =
+            incarnation_topology(crate::FaultPlan::new().crash("tag", 0, 1_000_000));
+        assert_eq!(tagged.len(), 50);
+        assert!(tagged.iter().all(|&(inc, _)| inc == 0));
+        assert!(report.restarts.is_empty());
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown component")]
+    fn fault_plan_with_unknown_component_rejected() {
+        let mut t = Topology::new();
+        t.spout("src", (0..5u64).map(N));
+        let _out = t.collector("sink");
+        t.wire("src", "sink", Grouping::global());
+        t.with_fault_plan(crate::FaultPlan::new().crash("nope", 0, 1))
+            .run();
+    }
+
+    #[test]
+    #[should_panic(expected = "parallelism")]
+    fn fault_plan_with_out_of_range_task_rejected() {
+        let mut t = Topology::new();
+        t.spout("src", (0..5u64).map(N));
+        t.bolt("inc", 2, |_| AddOne);
+        let _out = t.collector("sink");
+        t.wire("src", "inc", Grouping::global());
+        t.wire("inc", "sink", Grouping::global());
+        t.with_fault_plan(crate::FaultPlan::new().crash("inc", 2, 1))
+            .run();
+    }
+
+    #[test]
+    fn supervised_restart_survives_organic_panic_without_redelivery() {
+        let mut t = Topology::new().with_supervised_restarts(1);
+        t.spout("src", (0..50u64).map(N));
+        t.bolt("mine", 1, |_| Minefield);
+        let out = t.collector("sink");
+        t.wire("src", "mine", Grouping::global());
+        t.wire("mine", "sink", Grouping::global());
+        let report = t.run();
+        // The poison tuple (13) is consumed by the crash, not retried; the
+        // restarted instance handles everything after it.
+        let values: Vec<u64> = out.lock().iter().map(|n| n.0).collect();
+        let expect: Vec<u64> = (0..50u64).filter(|&v| v != 13).collect();
+        assert_eq!(values, expect);
+        assert_eq!(report.total_restarts(), 1);
+        assert_eq!(report.failures.len(), 1);
+    }
+
+    #[test]
+    fn organic_restart_budget_is_exhausted() {
+        // Two mines, budget one: the second panic kills the task for good.
+        struct TwoMines;
+        impl Bolt<N> for TwoMines {
+            fn execute(&mut self, msg: N, out: &mut Outbox<N>) {
+                assert!(msg.0 != 5 && msg.0 != 10, "mine at {}", msg.0);
+                out.emit(msg);
+            }
+        }
+        let mut t = Topology::new().with_supervised_restarts(1);
+        t.spout("src", (0..20u64).map(N));
+        t.bolt("mine", 1, |_| TwoMines);
+        let out = t.collector("sink");
+        t.wire("src", "mine", Grouping::global());
+        t.wire("mine", "sink", Grouping::global());
+        let report = t.run();
+        let values: Vec<u64> = out.lock().iter().map(|n| n.0).collect();
+        // 0..5 pass, 5 crashes (restart), 6..10 pass, 10 crashes (budget
+        // spent → drain discards the rest).
+        let expect: Vec<u64> = (0..10u64).filter(|&v| v != 5).collect();
+        assert_eq!(values, expect);
+        assert_eq!(report.total_restarts(), 1);
+        assert_eq!(report.failures.len(), 2);
+    }
+
+    #[test]
+    fn metrics_reconcile_across_wires() {
+        // Multi-stage, multi-task chain: tuples emitted onto each wire must
+        // equal tuples received from it, whether or not a fault fired.
+        for plan in [
+            crate::FaultPlan::new(),
+            crate::FaultPlan::new().crash("stage2", 1, 7),
+        ] {
+            let mut t = Topology::new().with_fault_plan(plan);
+            t.spout("src", (0..300u64).map(N));
+            t.bolt("stage1", 2, |_| AddOne);
+            t.bolt("stage2", 3, |_| AddOne);
+            let out = t.collector("sink");
+            t.wire("src", "stage1", Grouping::shuffle());
+            t.wire("stage1", "stage2", Grouping::shuffle());
+            t.wire("stage2", "sink", Grouping::global());
+            let report = t.run();
+            drop(out);
+            let src = report.component("src");
+            let s1 = report.component("stage1");
+            let s2 = report.component("stage2");
+            let sink = report.component("sink");
+            assert_eq!(src.msgs_out, s1.msgs_in, "src→stage1 edge leaked");
+            assert_eq!(s1.msgs_out, s2.msgs_in, "stage1→stage2 edge leaked");
+            assert_eq!(s2.msgs_out, sink.msgs_in, "stage2→sink edge leaked");
+            assert_eq!(src.bytes_out, s1.bytes_in, "src→stage1 bytes leaked");
+            assert_eq!(s1.bytes_out, s2.bytes_in, "stage1→stage2 bytes leaked");
+            assert_eq!(s2.bytes_out, sink.bytes_in, "stage2→sink bytes leaked");
+            // With restart-on-injected-fault, nothing is drained: every
+            // tuple entering a stage leaves it.
+            assert_eq!(sink.msgs_in, 300);
+        }
     }
 
     #[test]

@@ -91,7 +91,11 @@ mod tests {
     use proptest::prelude::*;
 
     fn rec(id: u64, ts: u64, toks: &[u32]) -> Record {
-        Record::from_sorted(RecordId(id), ts, toks.iter().copied().map(TokenId).collect())
+        Record::from_sorted(
+            RecordId(id),
+            ts,
+            toks.iter().copied().map(TokenId).collect(),
+        )
     }
 
     #[test]

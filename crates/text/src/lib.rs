@@ -40,8 +40,8 @@ pub mod token;
 pub mod tokenizer;
 
 pub use corpus::{Corpus, CorpusBuilder};
-pub use loader::{load_lines, load_lines_from};
 pub use fxhash::{FxHashMap, FxHashSet};
+pub use loader::{load_lines, load_lines_from};
 pub use record::{Record, RecordBuilder, RecordId};
 pub use token::{Dictionary, TokenId};
 pub use tokenizer::{QGramTokenizer, Tokenizer, WordTokenizer};

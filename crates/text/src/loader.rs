@@ -12,11 +12,7 @@ use std::path::Path;
 /// `line_index * ts_step_ms` (a constant-rate stream clock). Empty lines
 /// (or lines that tokenize to nothing) are skipped without consuming a
 /// record id.
-pub fn load_lines<T: Tokenizer>(
-    path: &Path,
-    tokenizer: T,
-    ts_step_ms: u64,
-) -> io::Result<Corpus> {
+pub fn load_lines<T: Tokenizer>(path: &Path, tokenizer: T, ts_step_ms: u64) -> io::Result<Corpus> {
     let file = File::open(path)?;
     load_lines_from(BufReader::new(file), tokenizer, ts_step_ms)
 }
@@ -45,8 +41,7 @@ mod tests {
     #[test]
     fn loads_documents_in_order() {
         let text = "first document here\nsecond document here\n\nthird one\n";
-        let corpus =
-            load_lines_from(text.as_bytes(), WordTokenizer::default(), 10).unwrap();
+        let corpus = load_lines_from(text.as_bytes(), WordTokenizer::default(), 10).unwrap();
         // The empty line is dropped; ids stay dense.
         assert_eq!(corpus.records().len(), 3);
         assert_eq!(corpus.records()[0].timestamp(), 0);

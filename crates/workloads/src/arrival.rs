@@ -78,7 +78,9 @@ mod tests {
 
     #[test]
     fn poisson_mean_gap_tracks_rate() {
-        let a = ArrivalProcess::Poisson { rate_per_sec: 100.0 }; // 10ms mean
+        let a = ArrivalProcess::Poisson {
+            rate_per_sec: 100.0,
+        }; // 10ms mean
         let mut rng = StdRng::seed_from_u64(2);
         let mut ts = 0;
         let n = 20_000;
@@ -91,7 +93,9 @@ mod tests {
 
     #[test]
     fn poisson_is_monotone() {
-        let a = ArrivalProcess::Poisson { rate_per_sec: 5000.0 };
+        let a = ArrivalProcess::Poisson {
+            rate_per_sec: 5000.0,
+        };
         let mut rng = StdRng::seed_from_u64(3);
         let mut ts = 0;
         for _ in 0..1000 {

@@ -126,7 +126,10 @@ mod tests {
         let _skip = g.take_records(2000);
         let late = g.take_records(1000);
         let (a, b) = (avg_len(&early), avg_len(&late));
-        assert!(b > a * 1.5, "late avg {b} should exceed early avg {a} by 1.5x");
+        assert!(
+            b > a * 1.5,
+            "late avg {b} should exceed early avg {a} by 1.5x"
+        );
     }
 
     #[test]

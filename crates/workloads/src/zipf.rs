@@ -24,9 +24,7 @@ impl ZipfSampler {
     pub fn new(vocab: usize, s: f64) -> Self {
         assert!(vocab > 0, "vocabulary must not be empty");
         assert!(s >= 0.0 && s.is_finite(), "skew must be finite and >= 0");
-        let weights: Vec<f64> = (0..vocab)
-            .map(|k| 1.0 / ((k + 1) as f64).powf(s))
-            .collect();
+        let weights: Vec<f64> = (0..vocab).map(|k| 1.0 / ((k + 1) as f64).powf(s)).collect();
         Self {
             table: AliasTable::new(&weights),
             vocab: vocab as u32,
@@ -76,10 +74,7 @@ mod tests {
         let z = ZipfSampler::new(1000, 1.2);
         let mut rng = StdRng::seed_from_u64(7);
         let n = 50_000;
-        let top10 = (0..n)
-            .filter(|_| z.sample_rank(&mut rng) < 10)
-            .count() as f64
-            / n as f64;
+        let top10 = (0..n).filter(|_| z.sample_rank(&mut rng) < 10).count() as f64 / n as f64;
         assert!(top10 > 0.3, "top-10 ranks should dominate, got {top10}");
     }
 

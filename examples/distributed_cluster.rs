@@ -6,9 +6,7 @@
 //! ```
 
 use dssj::core::JoinConfig;
-use dssj::distrib::{
-    run_distributed, DistributedJoinConfig, LocalAlgo, PartitionMethod, Strategy,
-};
+use dssj::distrib::{run_distributed, DistributedJoinConfig, LocalAlgo, PartitionMethod, Strategy};
 use dssj::workloads::{DatasetProfile, StreamGenerator};
 
 fn main() {
@@ -45,6 +43,7 @@ fn main() {
             strategy,
             channel_capacity: 1024,
             source_rate: None,
+            fault: None,
         };
         let out = run_distributed(&records, &cfg);
         println!(
@@ -62,5 +61,8 @@ fn main() {
         pair_counts.windows(2).all(|w| w[0] == w[1]),
         "all strategies must produce the identical result set"
     );
-    println!("\nall three strategies produced the same {} pairs — exact results.", pair_counts[0]);
+    println!(
+        "\nall three strategies produced the same {} pairs — exact results.",
+        pair_counts[0]
+    );
 }

@@ -23,7 +23,10 @@ fn main() {
     // News-like stream: medium-length records, 30% near-duplicates
     // (re-posts and lightly edited copies).
     let profile = DatasetProfile::dblp().with_dup_rate(0.3);
-    println!("generating {n} records of a news-like stream ({})...", profile.name);
+    println!(
+        "generating {n} records of a news-like stream ({})...",
+        profile.name
+    );
     let records = StreamGenerator::new(profile, 1).take_records(n);
 
     let cfg = DistributedJoinConfig::recommended(8, JoinConfig::jaccard(0.8));
@@ -36,11 +39,23 @@ fn main() {
     let out = run_distributed(&records, &cfg);
 
     println!("near-duplicate pairs found : {}", out.pairs.len());
-    println!("throughput                 : {:.0} records/s", out.throughput());
-    println!("communication              : {:.2} msgs/record, {:.0} bytes/record",
-        out.msgs_per_record(), out.bytes_per_record());
-    println!("index replication          : {:.2} copies/record", out.replication());
-    println!("joiner busy-time imbalance : {:.2} (1.0 = perfect)", out.load_imbalance());
+    println!(
+        "throughput                 : {:.0} records/s",
+        out.throughput()
+    );
+    println!(
+        "communication              : {:.2} msgs/record, {:.0} bytes/record",
+        out.msgs_per_record(),
+        out.bytes_per_record()
+    );
+    println!(
+        "index replication          : {:.2} copies/record",
+        out.replication()
+    );
+    println!(
+        "joiner busy-time imbalance : {:.2} (1.0 = perfect)",
+        out.load_imbalance()
+    );
     println!(
         "result latency             : mean {:.0} us, p99 {:.0} us",
         out.latency.mean().as_secs_f64() * 1e6,

@@ -21,8 +21,9 @@ fn main() {
 
     // AOL-like query log arriving at ~1000 queries/s (stream time).
     let profile = DatasetProfile::aol();
-    let mut generator = StreamGenerator::new(profile, 3)
-        .with_arrival(ArrivalProcess::Poisson { rate_per_sec: 1000.0 });
+    let mut generator = StreamGenerator::new(profile, 3).with_arrival(ArrivalProcess::Poisson {
+        rate_per_sec: 1000.0,
+    });
 
     // "Same query within the last 10 seconds" — high threshold, time window.
     let cfg = JoinConfig {

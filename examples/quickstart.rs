@@ -36,12 +36,13 @@ fn main() {
     }
 
     // 3. Report.
-    println!("{} documents, {} similar pairs at Jaccard >= 0.6:\n", documents.len(), matches.len());
+    println!(
+        "{} documents, {} similar pairs at Jaccard >= 0.6:\n",
+        documents.len(),
+        matches.len()
+    );
     for m in &matches {
-        println!(
-            "  {:.2}  #{} <-> #{}",
-            m.similarity, m.earlier.0, m.later.0
-        );
+        println!("  {:.2}  #{} <-> #{}", m.similarity, m.earlier.0, m.later.0);
         println!("        \"{}\"", documents[m.earlier.0 as usize]);
         println!("        \"{}\"", documents[m.later.0 as usize]);
     }

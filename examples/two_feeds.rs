@@ -21,7 +21,10 @@ fn main() {
     // split it into two feeds. Near-duplicate injection means many events
     // surface on both feeds — exactly what the join is looking for.
     let profile = DatasetProfile::tweet().with_dup_rate(0.4);
-    println!("generating {n} records across two feeds ({})...", profile.name);
+    println!(
+        "generating {n} records across two feeds ({})...",
+        profile.name
+    );
     let all = StreamGenerator::new(profile, 5).take_records(n);
     let (mut wire, mut social): (Vec<Record>, Vec<Record>) = (Vec::new(), Vec::new());
     for r in all {
@@ -61,6 +64,13 @@ fn main() {
         .iter()
         .filter(|m| (m.earlier.0 % 2) != (m.later.0 % 2))
         .count();
-    assert_eq!(crossings, out.pairs.len(), "self-feed pairs must not appear");
-    println!("\nall {} matches connect the two feeds (no same-feed pairs)", crossings);
+    assert_eq!(
+        crossings,
+        out.pairs.len(),
+        "self-feed pairs must not appear"
+    );
+    println!(
+        "\nall {} matches connect the two feeds (no same-feed pairs)",
+        crossings
+    );
 }

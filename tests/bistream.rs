@@ -23,7 +23,10 @@ fn two_feeds(n: usize) -> (Vec<Record>, Vec<Record>) {
 fn ground_truth(left: &[Record], right: &[Record], join: JoinConfig) -> Vec<(u64, u64)> {
     let merged = merge_streams(left, right);
     let mut j = BiStreamJoiner::new(|| NaiveJoiner::new(join));
-    let mut keys: Vec<_> = run_bistream(&mut j, &merged).iter().map(|m| m.key()).collect();
+    let mut keys: Vec<_> = run_bistream(&mut j, &merged)
+        .iter()
+        .map(|m| m.key())
+        .collect();
     keys.sort_unstable();
     keys
 }
@@ -72,6 +75,7 @@ fn bistream_window_and_prefix_strategy() {
         strategy: Strategy::Prefix,
         channel_capacity: 64,
         source_rate: None,
+        fault: None,
     };
     let out = run_bistream_distributed(&left, &right, &cfg);
     let mut got: Vec<_> = out.pairs.iter().map(|m| m.key()).collect();
@@ -92,13 +96,15 @@ fn one_empty_side_yields_no_pairs() {
 fn local_bistream_asymmetric_sizes() {
     // A big left index probed by a tiny right stream.
     let all = StreamGenerator::new(DatasetProfile::aol(), 9).take_records(300);
-    let (left, right): (Vec<Record>, Vec<Record>) =
-        all.into_iter().partition(|r| r.id().0 < 280);
+    let (left, right): (Vec<Record>, Vec<Record>) = all.into_iter().partition(|r| r.id().0 < 280);
     let join = JoinConfig::jaccard(0.8);
     let expect = ground_truth(&left, &right, join);
     let merged = merge_streams(&left, &right);
     let mut j = BiStreamJoiner::new(|| dssj::PpJoinJoiner::new(join));
-    let mut got: Vec<_> = run_bistream(&mut j, &merged).iter().map(|m| m.key()).collect();
+    let mut got: Vec<_> = run_bistream(&mut j, &merged)
+        .iter()
+        .map(|m| m.key())
+        .collect();
     got.sort_unstable();
     assert_eq!(got, expect);
     // run_bistream processed both sides; Side is exposed for callers.

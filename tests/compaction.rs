@@ -42,17 +42,26 @@ fn repeated_compaction_preserves_results() {
     assert!(!expect.is_empty());
 
     let mut ap = AllPairsJoiner::new(cfg);
-    let mut got: Vec<_> = run_stream(&mut ap, &records).iter().map(|m| m.key()).collect();
+    let mut got: Vec<_> = run_stream(&mut ap, &records)
+        .iter()
+        .map(|m| m.key())
+        .collect();
     got.sort_unstable();
     assert_eq!(got, expect, "allpairs diverged across compactions");
 
     let mut pp = PpJoinJoiner::new_plus(cfg);
-    let mut got: Vec<_> = run_stream(&mut pp, &records).iter().map(|m| m.key()).collect();
+    let mut got: Vec<_> = run_stream(&mut pp, &records)
+        .iter()
+        .map(|m| m.key())
+        .collect();
     got.sort_unstable();
     assert_eq!(got, expect, "ppjoin+ diverged across compactions");
 
     let mut bj = BundleJoiner::with_defaults(cfg);
-    let mut got: Vec<_> = run_stream(&mut bj, &records).iter().map(|m| m.key()).collect();
+    let mut got: Vec<_> = run_stream(&mut bj, &records)
+        .iter()
+        .map(|m| m.key())
+        .collect();
     got.sort_unstable();
     assert_eq!(got, expect, "bundle diverged across compactions");
 }

@@ -3,9 +3,7 @@
 
 use dssj::core::join::run_stream;
 use dssj::core::{JoinConfig, NaiveJoiner};
-use dssj::distrib::{
-    run_distributed, DistributedJoinConfig, LocalAlgo, PartitionMethod, Strategy,
-};
+use dssj::distrib::{run_distributed, DistributedJoinConfig, LocalAlgo, PartitionMethod, Strategy};
 use dssj::text::{CorpusBuilder, QGramTokenizer, WordTokenizer};
 
 /// A synthetic "news wire": templated sentences with small edits, so the
@@ -68,6 +66,7 @@ fn text_pipeline_to_distributed_join() {
             strategy,
             channel_capacity: 128,
             source_rate: None,
+            fault: None,
         };
         let out = run_distributed(&records, &cfg);
         let mut got: Vec<_> = out.pairs.iter().map(|m| m.key()).collect();

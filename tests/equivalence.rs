@@ -8,8 +8,7 @@ use dssj::core::{
     Threshold, Window,
 };
 use dssj::distrib::{
-    run_distributed, DistributedJoinConfig, LocalAlgo, PartitionMethod,
-    Strategy as DistStrategy,
+    run_distributed, DistributedJoinConfig, LocalAlgo, PartitionMethod, Strategy as DistStrategy,
 };
 use dssj::text::Record;
 use dssj::workloads::{DatasetProfile, LengthDist, StreamGenerator};
@@ -19,22 +18,24 @@ use proptest::prelude::*;
 /// drawn, so the property explores skew × length × duplication space.
 fn profile_strategy() -> impl Strategy<Value = DatasetProfile> {
     (
-        100usize..2000,       // vocab
-        0.0f64..1.3,          // skew
-        1usize..6,            // lo
-        6usize..40,           // hi
-        0.0f64..0.7,          // dup rate
-        0usize..4,            // dup mutations
+        100usize..2000, // vocab
+        0.0f64..1.3,    // skew
+        1usize..6,      // lo
+        6usize..40,     // hi
+        0.0f64..0.7,    // dup rate
+        0usize..4,      // dup mutations
     )
-        .prop_map(|(vocab, skew, lo, hi, dup_rate, dup_mutations)| DatasetProfile {
-            name: "prop",
-            vocab,
-            skew,
-            len_dist: LengthDist::Uniform { lo, hi },
-            dup_rate,
-            dup_mutations,
-            recent_pool: 256,
-        })
+        .prop_map(
+            |(vocab, skew, lo, hi, dup_rate, dup_mutations)| DatasetProfile {
+                name: "prop",
+                vocab,
+                skew,
+                len_dist: LengthDist::Uniform { lo, hi },
+                dup_rate,
+                dup_mutations,
+                recent_pool: 256,
+            },
+        )
 }
 
 fn sorted_keys(pairs: &[dssj::MatchPair]) -> Vec<(u64, u64)> {
@@ -136,6 +137,7 @@ proptest! {
             strategy,
             channel_capacity: 64,
             source_rate: None,
+            fault: None,
         };
         let out = run_distributed(&records, &cfg);
         prop_assert_eq!(sorted_keys(&out.pairs), expect);
@@ -177,6 +179,7 @@ proptest! {
             },
             channel_capacity: 64,
             source_rate: None,
+            fault: None,
         };
         let out = run_bistream_distributed(&left, &right, &cfg);
         prop_assert_eq!(sorted_keys(&out.pairs), expect);

@@ -1,0 +1,172 @@
+//! Property-based crash recovery: killing joiner tasks mid-stream must
+//! never change the result set. For random workload shapes, thresholds,
+//! windows and (seeded, deterministic) fault points, the post-recovery
+//! result multiset must equal the naive no-fault ground truth — no lost
+//! pairs, no duplicated pairs — for every `Strategy` × `LocalAlgo`.
+
+use dssj::core::join::run_stream;
+use dssj::core::{JoinConfig, NaiveJoiner, Threshold, Window};
+use dssj::distrib::{
+    run_distributed, DistributedJoinConfig, LocalAlgo, PartitionMethod, Strategy as DistStrategy,
+};
+use dssj::partition::EpochConfig;
+use dssj::stormlite::FaultPlan;
+use dssj::workloads::{DatasetProfile, LengthDist, StreamGenerator};
+use proptest::prelude::*;
+
+fn profile_strategy() -> impl Strategy<Value = DatasetProfile> {
+    (
+        100usize..2000, // vocab
+        0.0f64..1.3,    // skew
+        1usize..6,      // lo
+        6usize..40,     // hi
+        0.0f64..0.7,    // dup rate
+        0usize..4,      // dup mutations
+    )
+        .prop_map(
+            |(vocab, skew, lo, hi, dup_rate, dup_mutations)| DatasetProfile {
+                name: "fault-prop",
+                vocab,
+                skew,
+                len_dist: LengthDist::Uniform { lo, hi },
+                dup_rate,
+                dup_mutations,
+                recent_pool: 256,
+            },
+        )
+}
+
+fn sorted_keys(pairs: &[dssj::MatchPair]) -> Vec<(u64, u64)> {
+    let mut keys: Vec<_> = pairs.iter().map(|m| m.key()).collect();
+    keys.sort_unstable();
+    keys
+}
+
+fn strategies() -> [DistStrategy; 4] {
+    [
+        DistStrategy::LengthAuto {
+            method: PartitionMethod::LoadAware,
+            sample: 60,
+        },
+        DistStrategy::LengthOnline {
+            sample: 60,
+            epoch: EpochConfig {
+                check_every: 80,
+                rebalance_factor: 1.1,
+                max_plans: 3,
+            },
+        },
+        DistStrategy::Prefix,
+        DistStrategy::Broadcast,
+    ]
+}
+
+const LOCALS: [LocalAlgo; 5] = [
+    LocalAlgo::Naive,
+    LocalAlgo::AllPairs,
+    LocalAlgo::PpJoin,
+    LocalAlgo::PpJoinPlus,
+    LocalAlgo::Bundle {
+        bundle_tau: None,
+        max_members: 64,
+        max_delta_frac: 0.25,
+    },
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// One seeded joiner crash per run (task and crash point both derived
+    /// from `fault_seed`), checked against the no-fault naive ground truth
+    /// for every distribution strategy × local algorithm.
+    #[test]
+    fn crashed_joiner_recovers_to_exact_results(
+        profile in profile_strategy(),
+        seed in 0u64..10_000,
+        tau in 0.55f64..0.9,
+        k in 2usize..5,
+        window_kind in 0usize..3,
+        fault_seed in 0u64..1_000_000,
+    ) {
+        let records = StreamGenerator::new(profile, seed).take_records(180);
+        let window = match window_kind {
+            0 => Window::Unbounded,
+            1 => Window::Count(60),
+            _ => Window::TimeMs(40),
+        };
+        let join = JoinConfig { threshold: Threshold::jaccard(tau), window };
+        let mut naive = NaiveJoiner::new(join);
+        let expect = sorted_keys(&run_stream(&mut naive, &records));
+
+        for strategy in strategies() {
+            for local in LOCALS {
+                let cfg = DistributedJoinConfig {
+                    k,
+                    join,
+                    local,
+                    strategy: strategy.clone(),
+                    channel_capacity: 64,
+                    source_rate: None,
+                    fault: Some(FaultPlan::new().crash_seeded("joiner", k, 150, fault_seed)),
+                };
+                let out = run_distributed(&records, &cfg);
+                let got = sorted_keys(&out.pairs);
+                prop_assert_eq!(
+                    got.windows(2).filter(|w| w[0] == w[1]).count(),
+                    0,
+                    "duplicate pairs: strategy={} local={} restarts={}",
+                    strategy.name(), local.name(), out.report.total_restarts()
+                );
+                prop_assert_eq!(
+                    &got, &expect,
+                    "lost or spurious pairs: strategy={} local={} restarts={}",
+                    strategy.name(), local.name(), out.report.total_restarts()
+                );
+            }
+        }
+    }
+
+    /// Several crashes across different tasks — including a crash before
+    /// the task ever processed input and repeated crashes of one task —
+    /// still recover exactly.
+    #[test]
+    fn multiple_crashes_recover_to_exact_results(
+        profile in profile_strategy(),
+        seed in 0u64..10_000,
+        tau in 0.55f64..0.9,
+        fault_seed in 0u64..1_000_000,
+        local_idx in 0usize..5,
+        strat_idx in 0usize..4,
+    ) {
+        let k = 4;
+        let records = StreamGenerator::new(profile, seed).take_records(200);
+        let join = JoinConfig {
+            threshold: Threshold::jaccard(tau),
+            window: Window::Count(80),
+        };
+        let mut naive = NaiveJoiner::new(join);
+        let expect = sorted_keys(&run_stream(&mut naive, &records));
+
+        let strategy = strategies()[strat_idx].clone();
+        let local = LOCALS[local_idx];
+        let plan = FaultPlan::new()
+            .crash_seeded("joiner", k, 150, fault_seed)
+            .crash_seeded("joiner", k, 150, fault_seed.wrapping_add(1))
+            .crash("joiner", (fault_seed % k as u64) as usize, 0);
+        let cfg = DistributedJoinConfig {
+            k,
+            join,
+            local,
+            strategy: strategy.clone(),
+            channel_capacity: 64,
+            source_rate: None,
+            fault: Some(plan),
+        };
+        let out = run_distributed(&records, &cfg);
+        prop_assert_eq!(
+            &sorted_keys(&out.pairs), &expect,
+            "strategy={} local={} restarts={}",
+            strategy.name(), local.name(), out.report.total_restarts()
+        );
+    }
+}

@@ -5,13 +5,15 @@
 
 use dssj::core::join::run_stream;
 use dssj::core::{JoinConfig, NaiveJoiner, SimFn, Threshold, Window};
-use dssj::distrib::{
-    run_distributed, DistributedJoinConfig, LocalAlgo, PartitionMethod, Strategy,
-};
+use dssj::distrib::{run_distributed, DistributedJoinConfig, LocalAlgo, PartitionMethod, Strategy};
 use dssj::text::{Record, RecordId, TokenId};
 
 fn rec(id: u64, toks: &[u32]) -> Record {
-    Record::from_sorted(RecordId(id), id, toks.iter().copied().map(TokenId).collect())
+    Record::from_sorted(
+        RecordId(id),
+        id,
+        toks.iter().copied().map(TokenId).collect(),
+    )
 }
 
 /// Short records containing long records' tokens: overlap similarity
@@ -84,6 +86,7 @@ fn distributed_overlap_equals_naive_under_every_strategy() {
             strategy,
             channel_capacity: 64,
             source_rate: None,
+            fault: None,
         };
         let out = run_distributed(&records, &dc);
         let mut got: Vec<_> = out.pairs.iter().map(|m| m.key()).collect();
@@ -107,17 +110,26 @@ fn local_joiners_agree_on_overlap_measure() {
     expect.sort_unstable();
 
     let mut ap = dssj::AllPairsJoiner::new(cfg);
-    let mut got: Vec<_> = run_stream(&mut ap, &records).iter().map(|m| m.key()).collect();
+    let mut got: Vec<_> = run_stream(&mut ap, &records)
+        .iter()
+        .map(|m| m.key())
+        .collect();
     got.sort_unstable();
     assert_eq!(got, expect, "allpairs");
 
     let mut pp = dssj::PpJoinJoiner::new_plus(cfg);
-    let mut got: Vec<_> = run_stream(&mut pp, &records).iter().map(|m| m.key()).collect();
+    let mut got: Vec<_> = run_stream(&mut pp, &records)
+        .iter()
+        .map(|m| m.key())
+        .collect();
     got.sort_unstable();
     assert_eq!(got, expect, "ppjoin+");
 
     let mut bj = dssj::BundleJoiner::with_defaults(cfg);
-    let mut got: Vec<_> = run_stream(&mut bj, &records).iter().map(|m| m.key()).collect();
+    let mut got: Vec<_> = run_stream(&mut bj, &records)
+        .iter()
+        .map(|m| m.key())
+        .collect();
     got.sort_unstable();
     assert_eq!(got, expect, "bundle");
 }

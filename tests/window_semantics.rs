@@ -8,7 +8,11 @@ use dssj::distrib::{run_distributed, DistributedJoinConfig, LocalAlgo, Strategy}
 use dssj::text::{Record, RecordId, TokenId};
 
 fn rec(id: u64, ts: u64, toks: &[u32]) -> Record {
-    Record::from_sorted(RecordId(id), ts, toks.iter().copied().map(TokenId).collect())
+    Record::from_sorted(
+        RecordId(id),
+        ts,
+        toks.iter().copied().map(TokenId).collect(),
+    )
 }
 
 #[test]
@@ -49,7 +53,10 @@ fn time_window_boundary_is_exact() {
         rec(2, 101, &[1, 2, 3]), // 101ms after record 0: expired
     ];
     let mut j = NaiveJoiner::new(cfg);
-    let keys: Vec<_> = run_stream(&mut j, &records).iter().map(|m| m.key()).collect();
+    let keys: Vec<_> = run_stream(&mut j, &records)
+        .iter()
+        .map(|m| m.key())
+        .collect();
     assert!(keys.contains(&(0, 1)));
     assert!(!keys.contains(&(0, 2)));
     assert!(keys.contains(&(1, 2)));
@@ -92,6 +99,7 @@ fn distributed_window_equals_local_window() {
                 strategy,
                 channel_capacity: 64,
                 source_rate: None,
+                fault: None,
             };
             let out = run_distributed(&records, &cfg);
             let mut got: Vec<_> = out.pairs.iter().map(|m| m.key()).collect();

@@ -1,0 +1,244 @@
+//! Vendored offline shim for the subset of `criterion` this workspace uses.
+//!
+//! Provides a working-but-simple harness: each benchmark is warmed up, then
+//! timed over a fixed measurement budget, and the mean ns/iter (plus element
+//! throughput when declared) is printed. No statistical analysis, outlier
+//! detection, or HTML reports — the benches still *run* and produce usable
+//! relative numbers offline.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle passed to every benchmark function.
+pub struct Criterion {
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            measurement: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<D: fmt::Display, F: FnMut(&mut Bencher)>(&mut self, id: D, f: F) {
+        run_one(self.measurement, &id.to_string(), None, f);
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput declaration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares how much work one iteration performs, enabling rate output.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; this shim sizes runs by wall time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.measurement = t;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<D: fmt::Display, F: FnMut(&mut Bencher)>(&mut self, id: D, f: F) {
+        run_one(
+            self.criterion.measurement,
+            &format!("{}/{}", self.name, id),
+            self.throughput,
+            f,
+        );
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, D, F>(&mut self, id: D, input: &I, mut f: F)
+    where
+        D: fmt::Display,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier `function_name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Work performed per iteration, for rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Timing loop handle given to each benchmark closure.
+pub struct Bencher {
+    measurement: Duration,
+    mean_ns: f64,
+    ran: bool,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean ns/iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up and iteration-count calibration: grow the batch until it
+        // costs ≥ ~1/10 of the measurement budget, then time full batches.
+        let mut batch: u64 = 1;
+        let calibration_floor = self.measurement / 10;
+        let calibration_deadline = Instant::now() + self.measurement;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if dt >= calibration_floor || Instant::now() >= calibration_deadline {
+                break;
+            }
+            batch = batch.saturating_mul(if dt.is_zero() {
+                16
+            } else {
+                (calibration_floor.as_nanos() / dt.as_nanos().max(1)).clamp(2, 16) as u64
+            });
+        }
+
+        let mut iters: u64 = 0;
+        let mut spent = Duration::ZERO;
+        let deadline = Instant::now() + self.measurement;
+        while Instant::now() < deadline {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            spent += t0.elapsed();
+            iters += batch;
+        }
+        self.mean_ns = spent.as_nanos() as f64 / iters.max(1) as f64;
+        self.ran = true;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    measurement: Duration,
+    label: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        measurement,
+        mean_ns: 0.0,
+        ran: false,
+    };
+    f(&mut bencher);
+    if !bencher.ran {
+        println!("{label:<50} (no iter() call)");
+        return;
+    }
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>12.0} elem/s", n as f64 / (bencher.mean_ns / 1e9))
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:>12.0} B/s", n as f64 / (bencher.mean_ns / 1e9))
+        }
+        None => String::new(),
+    };
+    println!("{label:<50} {:>14.1} ns/iter{rate}", bencher.mean_ns);
+}
+
+/// Bundles benchmark functions into one callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_loop_measures_something() {
+        let mut c = Criterion {
+            measurement: Duration::from_millis(5),
+        };
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(10));
+        let mut observed = 0.0;
+        g.bench_function(BenchmarkId::new("sum", 10), |b| {
+            b.iter(|| (0..10u64).sum::<u64>());
+            observed = b.mean_ns;
+        });
+        g.finish();
+        assert!(observed > 0.0);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion {
+            measurement: Duration::from_millis(2),
+        };
+        let mut g = c.benchmark_group("shim");
+        let mut got = 0;
+        g.bench_with_input(BenchmarkId::new("id", 7), &7usize, |b, &i| {
+            got = i;
+            b.iter(|| i * 2);
+        });
+        assert_eq!(got, 7);
+    }
+}

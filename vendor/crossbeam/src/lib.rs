@@ -1,0 +1,325 @@
+//! Vendored offline shim for the subset of `crossbeam` this workspace uses:
+//! the MPMC channel. Implemented as a `Mutex<VecDeque>` + two condvars —
+//! slower than upstream's lock-free queues but semantically identical for the
+//! bounded/unbounded, clone-both-ends usage in `stormlite`.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        cap: Option<usize>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        inner: Mutex<Inner<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    impl<T> Shared<T> {
+        fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+            // A sender/receiver panicking while holding the lock leaves the
+            // queue in a consistent state (all mutations are single calls),
+            // so poisoning is safe to ignore.
+            self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+
+    /// The sending half; cloneable for multi-producer use.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half; cloneable for multi-consumer use.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The message could not be delivered: every receiver is gone.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// The channel is empty and every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    /// Why [`Receiver::try_recv`] returned no message.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    fn shared<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                cap,
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    /// A channel holding at most `cap` in-flight messages; `send` blocks when
+    /// full. A capacity of zero is bumped to one (this shim has no
+    /// rendezvous mode; `stormlite` never asks for one).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        shared(Some(cap.max(1)))
+    }
+
+    /// A channel with no capacity limit; `send` never blocks.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        shared(None)
+    }
+
+    impl<T> Sender<T> {
+        /// Delivers `msg`, blocking while the channel is full. Fails only
+        /// when every receiver has been dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut inner = self.shared.lock();
+            loop {
+                if inner.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                match inner.cap {
+                    Some(cap) if inner.queue.len() >= cap => {
+                        inner = self
+                            .shared
+                            .not_full
+                            .wait(inner)
+                            .unwrap_or_else(|e| e.into_inner());
+                    }
+                    _ => break,
+                }
+            }
+            inner.queue.push_back(msg);
+            drop(inner);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.lock().senders += 1;
+            Self {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = self.shared.lock();
+            inner.senders -= 1;
+            if inner.senders == 0 {
+                drop(inner);
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Takes the next message, blocking while the channel is empty. Fails
+        /// only when the channel is empty and every sender has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut inner = self.shared.lock();
+            loop {
+                if let Some(msg) = inner.queue.pop_front() {
+                    drop(inner);
+                    self.shared.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = self
+                    .shared
+                    .not_empty
+                    .wait(inner)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Takes the next message without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut inner = self.shared.lock();
+            if let Some(msg) = inner.queue.pop_front() {
+                drop(inner);
+                self.shared.not_full.notify_one();
+                Ok(msg)
+            } else if inner.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Drains currently available messages without blocking.
+        pub fn try_iter(&self) -> TryIter<'_, T> {
+            TryIter { receiver: self }
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.shared.lock().queue.len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.lock().receivers += 1;
+            Self {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut inner = self.shared.lock();
+            inner.receivers -= 1;
+            if inner.receivers == 0 {
+                drop(inner);
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+
+    /// Iterator returned by [`Receiver::try_iter`].
+    pub struct TryIter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for TryIter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.receiver.try_recv().ok()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, unbounded, TryRecvError};
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_roundtrip() {
+        let (s, r) = unbounded();
+        for i in 0..100 {
+            s.send(i).unwrap();
+        }
+        let got: Vec<i32> = r.try_iter().collect();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+        assert_eq!(r.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn recv_unblocks_on_sender_drop() {
+        let (s, r) = unbounded::<u32>();
+        let h = thread::spawn(move || r.recv());
+        thread::sleep(Duration::from_millis(20));
+        drop(s);
+        assert!(h.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_drained() {
+        let (s, r) = bounded(2);
+        s.send(1).unwrap();
+        s.send(2).unwrap();
+        let h = thread::spawn(move || {
+            s.send(3).unwrap(); // blocks until a recv frees a slot
+            3
+        });
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(r.recv().unwrap(), 1);
+        assert_eq!(h.join().unwrap(), 3);
+        assert_eq!(r.recv().unwrap(), 2);
+        assert_eq!(r.recv().unwrap(), 3);
+    }
+
+    #[test]
+    fn send_fails_when_receivers_gone() {
+        let (s, r) = bounded(1);
+        drop(r);
+        assert!(s.send(7).is_err());
+    }
+
+    #[test]
+    fn mpmc_delivers_every_message_once() {
+        let (s, r) = bounded(4);
+        let mut producers = Vec::new();
+        for p in 0..4u64 {
+            let s = s.clone();
+            producers.push(thread::spawn(move || {
+                for i in 0..250 {
+                    s.send(p * 1000 + i).unwrap();
+                }
+            }));
+        }
+        drop(s);
+        let mut consumers = Vec::new();
+        for _ in 0..3 {
+            let r = r.clone();
+            consumers.push(thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Ok(v) = r.recv() {
+                    got.push(v);
+                }
+                got
+            }));
+        }
+        drop(r);
+        for p in producers {
+            p.join().unwrap();
+        }
+        let mut all: Vec<u64> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let expect: Vec<u64> = (0..4u64)
+            .flat_map(|p| (0..250).map(move |i| p * 1000 + i))
+            .collect();
+        assert_eq!(all, expect);
+    }
+}
