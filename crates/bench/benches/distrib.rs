@@ -78,6 +78,9 @@ fn bench_end_to_end(c: &mut Criterion) {
                     channel_capacity: 1024,
                     source_rate: None,
                     fault: None,
+                    chaos_seed: None,
+                    shed_watermark: None,
+                    replay_buffer_cap: None,
                 };
                 black_box(run_distributed(black_box(&records), &cfg).pairs.len())
             })

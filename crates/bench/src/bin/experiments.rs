@@ -12,7 +12,7 @@ use std::process::ExitCode;
 
 const IDS: &[&str] = &[
     "check", "t1", "t2", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "f10", "f11", "f12",
-    "a1",
+    "f13", "a1",
 ];
 
 fn usage() -> ExitCode {
@@ -83,6 +83,7 @@ fn main() -> ExitCode {
             "f10" => exps::f10(scale, &results),
             "f11" => exps::f11(scale, &results),
             "f12" => exps::f12(scale, &results),
+            "f13" => exps::f13(scale, &results),
             "a1" => exps::a1(scale, &results),
             other => {
                 eprintln!("unknown experiment id: {other}");

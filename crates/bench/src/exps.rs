@@ -44,6 +44,9 @@ fn dist_cfg(
         channel_capacity: 1024,
         source_rate: None,
         fault: None,
+        chaos_seed: None,
+        shed_watermark: None,
+        replay_buffer_cap: None,
     }
 }
 
@@ -761,6 +764,123 @@ pub fn f12(scale: Scale, results: &Path) {
     t.emit(results, "f12_recovery");
 }
 
+/// F13 — chaos wires and degraded mode. Three regimes on one workload:
+/// a clean baseline; chaos runs where every wire drops/duplicates/delays
+/// under a seeded `LinkFaultPlan` masked by at-least-once delivery (the
+/// result must stay *identical*, the cost shows up as retries and lower
+/// throughput); and an overloaded run that sheds whole records at the
+/// dispatcher, where the recall gap is exactly accounted for — the
+/// surviving output equals the join of the kept records, recomputed as a
+/// reference run.
+pub fn f13(scale: Scale, results: &Path) {
+    fn keys(out: &ssj_distrib::DistributedJoinResult) -> Vec<(u64, u64)> {
+        let mut keys: Vec<_> = out.pairs.iter().map(|m| m.key()).collect();
+        keys.sort_unstable();
+        keys
+    }
+    let n = scale.n();
+    let tau = 0.8;
+    let k = 4;
+    let join = JoinConfig {
+        threshold: Threshold::jaccard(tau),
+        window: Window::Unbounded,
+    };
+    let recs = records(&DatasetProfile::aol(), n);
+    let mut t = Table::new(
+        &format!("F13: chaos wires + degraded mode, tau = {tau}, n = {n}, k = {k}, dataset = aol"),
+        &[
+            "mode",
+            "rps",
+            "slowdown",
+            "retries",
+            "dup_drops",
+            "link_drop",
+            "link_dup",
+            "link_delay",
+            "shed",
+            "pairs",
+            "recall",
+            "exact",
+        ],
+    );
+
+    let base_cfg = || dist_cfg(k, join, LocalAlgo::bundle(), length_auto(2_000));
+    let clean = run_distributed(&recs, &base_cfg());
+    let clean_keys = keys(&clean);
+    let clean_rps = clean.throughput();
+    t.row(vec![
+        "baseline".into(),
+        fnum(clean_rps),
+        fnum(1.0),
+        "0".into(),
+        "0".into(),
+        "0".into(),
+        "0".into(),
+        "0".into(),
+        "0".into(),
+        clean.pairs.len().to_string(),
+        fnum(1.0),
+        "true".into(),
+    ]);
+
+    let chaos_seeds: &[u64] = if scale.quick { &[7] } else { &[7, 42] };
+    for &seed in chaos_seeds {
+        let mut cfg = base_cfg();
+        cfg.chaos_seed = Some(seed);
+        let out = run_distributed(&recs, &cfg);
+        let identical = keys(&out) == clean_keys;
+        assert!(identical, "chaos seed {seed} changed the result set");
+        let (drop, dup, delay) = out.report.link_faults();
+        t.row(vec![
+            format!("chaos(seed={seed})"),
+            fnum(out.throughput()),
+            fnum(clean_rps / out.throughput().max(1e-9)),
+            out.report.total_retries().to_string(),
+            out.report.total_dup_drops().to_string(),
+            drop.to_string(),
+            dup.to_string(),
+            delay.to_string(),
+            "0".into(),
+            out.pairs.len().to_string(),
+            fnum(1.0),
+            identical.to_string(),
+        ]);
+    }
+
+    // Degraded mode: starve the joiners of queue space so the dispatcher
+    // trips the watermark and sheds. The recall gap must be *exactly* the
+    // pairs involving shed records: a reference run over the kept records
+    // alone has to reproduce the shed run's output bit for bit.
+    let mut shed_cfg = base_cfg();
+    shed_cfg.channel_capacity = 8;
+    shed_cfg.shed_watermark = Some(4);
+    let out = run_distributed(&recs, &shed_cfg);
+    let shed: FxHashSet<u64> = out.shed_records.iter().copied().collect();
+    let kept: Vec<ssj_text::Record> = recs
+        .iter()
+        .filter(|r| !shed.contains(&r.id().0))
+        .cloned()
+        .collect();
+    let reference = run_distributed(&kept, &base_cfg());
+    let exact = keys(&out) == keys(&reference);
+    assert!(exact, "shed run output is not the join of the kept records");
+    t.row(vec![
+        format!("shed(watermark=4,cap=8)"),
+        fnum(out.throughput()),
+        fnum(clean_rps / out.throughput().max(1e-9)),
+        out.report.total_retries().to_string(),
+        "0".into(),
+        "0".into(),
+        "0".into(),
+        "0".into(),
+        out.report.shed().to_string(),
+        out.pairs.len().to_string(),
+        fnum(out.pairs.len() as f64 / clean.pairs.len().max(1) as f64),
+        exact.to_string(),
+    ]);
+    t.emit(results, "f13_chaos");
+}
+
 /// Correctness smoke: naive vs the full distributed recommended setup on a
 /// small stream — run before benchmarking to catch misconfiguration.
 pub fn check(results: &Path) {
@@ -818,6 +938,11 @@ mod tests {
     #[test]
     fn f12_runs() {
         f12(tiny(), Path::new("/tmp/ssj-results-test"));
+    }
+
+    #[test]
+    fn f13_runs() {
+        f13(tiny(), Path::new("/tmp/ssj-results-test"));
     }
 
     #[test]

@@ -22,7 +22,9 @@ pub fn usage() -> ExitCode {
         "usage:
   dssj join      --input FILE [--tau T=0.8] [--algo bundle|ppjoin|allpairs]
                  [--qgram Q] [--window N] [--k K=4] [--show-pairs N=10]
+                 [--chaos-seed S] [--shed-watermark W]
   dssj bistream  --left FILE --right FILE [--tau T=0.8] [--algo A] [--k K=4]
+                 [--chaos-seed S] [--shed-watermark W]
   dssj generate  --profile aol|dblp|enron|tweet --n N --out FILE [--seed S=1]
   dssj partition --input FILE [--tau T=0.8] [--k K=8]"
     );
@@ -70,6 +72,16 @@ fn local_algo(args: &Args) -> Result<LocalAlgo, ArgError> {
     }
 }
 
+fn parse_opt<T: std::str::FromStr>(args: &Args, key: &str) -> Result<Option<T>, ArgError> {
+    match args.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| ArgError(format!("--{key}: cannot parse '{v}'"))),
+    }
+}
+
 fn dist_config(args: &Args, join: JoinConfig) -> Result<DistributedJoinConfig, ArgError> {
     let k: usize = args.get_or("k", 4)?;
     Ok(DistributedJoinConfig {
@@ -83,6 +95,12 @@ fn dist_config(args: &Args, join: JoinConfig) -> Result<DistributedJoinConfig, A
         channel_capacity: 1024,
         source_rate: None,
         fault: None,
+        // Chaos mode: lossy wires masked by at-least-once delivery — the
+        // result set is unchanged, the cost shows up in the summary.
+        chaos_seed: parse_opt(args, "chaos-seed")?,
+        // Degraded mode: shed whole records above this queue depth.
+        shed_watermark: parse_opt(args, "shed-watermark")?,
+        replay_buffer_cap: None,
     })
 }
 
@@ -101,6 +119,24 @@ fn print_summary(out: &ssj_distrib::DistributedJoinResult) {
         out.latency.mean().as_secs_f64() * 1e6,
         out.latency.quantile(0.99).as_secs_f64() * 1e6
     );
+    let (dropped, duped, delayed) = out.report.link_faults();
+    if dropped + duped + delayed > 0 {
+        println!(
+            "chaos       : link faults {} dropped / {} duplicated / {} delayed, \
+             {} retries, {} duplicate deliveries suppressed",
+            dropped,
+            duped,
+            delayed,
+            out.report.total_retries(),
+            out.report.total_dup_drops()
+        );
+    }
+    if out.report.shed() > 0 {
+        println!(
+            "shed        : {} records dropped at the dispatcher under overload",
+            out.report.shed()
+        );
+    }
 }
 
 /// `dssj join` — self-join one file of line-documents.

@@ -113,6 +113,45 @@ fn generate_then_partition_roundtrip() {
 }
 
 #[test]
+fn join_under_chaos_finds_the_same_pairs() {
+    let input = write_temp("join_chaos.txt", DOCS);
+    let out = dssj(&[
+        "join",
+        "--input",
+        input.to_str().unwrap(),
+        "--tau",
+        "0.6",
+        "--chaos-seed",
+        "42",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // At-least-once delivery masks the injected link faults: the result
+    // set is identical to the clean run's.
+    assert!(stdout.contains("pairs       : 2"), "{stdout}");
+    assert!(stdout.contains("line 0 <-> line 1"), "{stdout}");
+    assert!(stdout.contains("line 2 <-> line 3"), "{stdout}");
+}
+
+#[test]
+fn bad_chaos_seed_rejected() {
+    let input = write_temp("chaos_seed.txt", "a b c\n");
+    let out = dssj(&[
+        "join",
+        "--input",
+        input.to_str().unwrap(),
+        "--chaos-seed",
+        "not-a-number",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("chaos-seed"));
+}
+
+#[test]
 fn unknown_command_fails_with_usage() {
     let out = dssj(&["frobnicate"]);
     assert!(!out.status.success());

@@ -17,6 +17,11 @@ pub struct DispatcherBolt<R: Router> {
     router: R,
     /// Replay buffers fed for every index target (fault-injected runs only).
     recovery: Option<Arc<RecoveryState>>,
+    /// Degraded mode: shed whole records when any target joiner's queue is
+    /// at least this deep. `None` = never shed (backpressure blocks instead).
+    shed_watermark: Option<usize>,
+    /// Ids of shed records, for exact recall accounting by the caller.
+    shed_log: Arc<Mutex<Vec<u64>>>,
 }
 
 impl<R: Router> DispatcherBolt<R> {
@@ -25,12 +30,24 @@ impl<R: Router> DispatcherBolt<R> {
         Self {
             router,
             recovery: None,
+            shed_watermark: None,
+            shed_log: Arc::new(Mutex::new(Vec::new())),
         }
     }
 
     /// Feeds the recovery replay buffers as records are routed.
     pub fn with_recovery(mut self, recovery: Option<Arc<RecoveryState>>) -> Self {
         self.recovery = recovery;
+        self
+    }
+
+    /// Enables load shedding at `watermark` queued messages, logging shed
+    /// record ids into `log`. Shedding drops the *whole* record — it is
+    /// neither probed nor indexed anywhere — so the surviving output is
+    /// exactly the join of the kept records.
+    pub fn with_shedding(mut self, watermark: Option<usize>, log: Arc<Mutex<Vec<u64>>>) -> Self {
+        self.shed_watermark = watermark;
+        self.shed_log = log;
         self
     }
 
@@ -56,6 +73,24 @@ impl<R: Router> Bolt<JoinMsg> for DispatcherBolt<R> {
             side: incoming.side,
         };
         let decision = self.router.route(&payload.record);
+        if let Some(watermark) = self.shed_watermark {
+            // Overload check: deepest downstream queue among this record's
+            // targets. Shedding happens *before* any emit or replay
+            // buffering, so a shed record leaves no trace downstream and
+            // the run's output is exactly the join of the kept records.
+            let depth = decision
+                .index
+                .iter()
+                .chain(decision.probe.iter())
+                .map(|&t| out.direct_queue_depth(t))
+                .max()
+                .unwrap_or(0);
+            if depth >= watermark {
+                out.record_shed(1);
+                self.shed_log.lock().push(payload.record.id().0);
+                return;
+            }
+        }
         let mut probe_iter = decision.probe.iter().peekable();
         for &ix in &decision.index {
             // Emit probes ordered before/interleaved with the index target;
@@ -157,6 +192,9 @@ pub struct JoinerSnapshot {
     pub incarnation: u64,
     /// Records replayed into this task across all of its restarts.
     pub replayed: u64,
+    /// Replay-buffer entries evicted by the buffer cap before expiry —
+    /// nonzero means a restart may have restored less than its full window.
+    pub replay_overflow: u64,
 }
 
 /// The joiner's local state: one index for self-joins, a pair of indexes
@@ -208,6 +246,7 @@ impl LocalState {
                 postings: j.postings(),
                 incarnation: 0,
                 replayed: 0,
+                replay_overflow: 0,
             },
             LocalState::Bi(j) => {
                 let stored = j.stored();
@@ -219,6 +258,7 @@ impl LocalState {
                     postings,
                     incarnation: 0,
                     replayed: 0,
+                    replay_overflow: 0,
                 }
             }
         }
@@ -384,6 +424,7 @@ impl Bolt<JoinMsg> for JoinerBolt {
         snapshot.incarnation = self.incarnation;
         if let Some(recovery) = &self.recovery {
             snapshot.replayed = recovery.replayed(self.task);
+            snapshot.replay_overflow = recovery.overflowed(self.task);
         }
         self.snapshots.lock().push(snapshot);
     }

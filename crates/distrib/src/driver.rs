@@ -17,8 +17,11 @@ use ssj_partition::{
 };
 use ssj_text::Record;
 use std::sync::Arc;
-use std::time::Instant;
-use stormlite::{FaultPlan, Grouping, LatencyHistogram, RunReport, Topology};
+use std::time::{Duration, Instant};
+use stormlite::{
+    Delivery, FaultPlan, Grouping, LatencyHistogram, LinkFault, LinkFaultPlan, RetryConfig,
+    RunReport, Topology,
+};
 
 /// Which local join algorithm each joiner runs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -179,6 +182,24 @@ pub struct DistributedJoinConfig {
     /// tasks: the dispatcher is stateful-built-once and the sink keeps its
     /// state in shared memory, so neither needs (nor supports) replay.
     pub fault: Option<FaultPlan>,
+    /// Chaos mode: seed a [`LinkFaultPlan`] that makes every wire lossy
+    /// (seeded drop/duplicate/delay rates) and upgrades every wire to
+    /// [`Delivery::AtLeastOnce`], which masks the faults — the output stays
+    /// exactly the fault-free result. `None` (the default) keeps plain
+    /// wires with zero overhead.
+    pub chaos_seed: Option<u64>,
+    /// Degraded mode: shed whole records at the dispatcher whenever any
+    /// target joiner's input queue holds at least this many messages. Shed
+    /// record ids are reported in
+    /// [`DistributedJoinResult::shed_records`] so recall loss is exactly
+    /// accountable. `None` (the default) never sheds — backpressure blocks
+    /// the dispatcher instead.
+    pub shed_watermark: Option<usize>,
+    /// Caps each joiner's crash-recovery replay buffer at this many
+    /// entries (see [`RecoveryState::with_buffer_cap`]). Only meaningful
+    /// together with `fault`; `None` leaves the buffer bounded by window
+    /// expiry alone.
+    pub replay_buffer_cap: Option<usize>,
 }
 
 impl DistributedJoinConfig {
@@ -196,12 +217,36 @@ impl DistributedJoinConfig {
             channel_capacity: 1024,
             source_rate: None,
             fault: None,
+            chaos_seed: None,
+            shed_watermark: None,
+            replay_buffer_cap: None,
         }
     }
 
     /// Adds an injected fault plan (see [`FaultPlan`]).
     pub fn with_fault(mut self, fault: FaultPlan) -> Self {
         self.fault = Some(fault);
+        self
+    }
+
+    /// Makes every wire lossy under the seeded chaos plan and reliable
+    /// under at-least-once delivery (see [`Self::chaos_seed`]).
+    pub fn with_chaos(mut self, seed: u64) -> Self {
+        self.chaos_seed = Some(seed);
+        self
+    }
+
+    /// Sheds records at the dispatcher above this queue depth (see
+    /// [`Self::shed_watermark`]).
+    pub fn with_shed_watermark(mut self, watermark: usize) -> Self {
+        self.shed_watermark = Some(watermark);
+        self
+    }
+
+    /// Caps the crash-recovery replay buffer (see
+    /// [`Self::replay_buffer_cap`]).
+    pub fn with_replay_buffer_cap(mut self, cap: usize) -> Self {
+        self.replay_buffer_cap = Some(cap);
         self
     }
 }
@@ -221,6 +266,11 @@ pub struct DistributedJoinResult {
     pub records: usize,
     /// Wall-clock time from first dispatch to full drain.
     pub wall: std::time::Duration,
+    /// Ids of records shed by the dispatcher under degraded mode, in shed
+    /// order. Always has exactly [`RunReport::shed`] entries; empty unless
+    /// [`DistributedJoinConfig::shed_watermark`] was set and overload
+    /// actually occurred.
+    pub shed_records: Vec<u64>,
 }
 
 impl DistributedJoinResult {
@@ -371,7 +421,11 @@ fn run_internal(
                 "fault plans may only crash joiner tasks"
             );
         }
-        Arc::new(RecoveryState::new(cfg.k, window))
+        let mut state = RecoveryState::new(cfg.k, window);
+        if let Some(cap) = cfg.replay_buffer_cap {
+            state = state.with_buffer_cap(cap);
+        }
+        Arc::new(state)
     });
 
     let sink_state = Arc::new(Mutex::new(SinkState::default()));
@@ -392,7 +446,12 @@ fn run_internal(
 
     // The dispatcher is stateful (routers mutate) and single-task; move the
     // router into the one instance the factory builds.
-    let mut router_slot = Some(DispatcherBolt::new(router).with_recovery(recovery.clone()));
+    let shed_log: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut router_slot = Some(
+        DispatcherBolt::new(router)
+            .with_recovery(recovery.clone())
+            .with_shedding(cfg.shed_watermark, Arc::clone(&shed_log)),
+    );
     topology.bolt("dispatcher", 1, move |_| {
         router_slot.take().expect("dispatcher built once")
     });
@@ -425,9 +484,35 @@ fn run_internal(
     let sink_shared = Arc::clone(&sink_state);
     topology.bolt("sink", 1, move |_| SinkBolt::new(Arc::clone(&sink_shared)));
 
-    topology.wire("source", "dispatcher", Grouping::global());
-    topology.wire("dispatcher", "joiner", Grouping::direct());
-    topology.wire("joiner", "sink", Grouping::global());
+    match cfg.chaos_seed {
+        Some(seed) => {
+            // Chaos mode: every wire drops/duplicates/delays with seeded
+            // rates, and every wire runs at-least-once so the protocol
+            // masks the faults. Retry timeouts are tightened well below
+            // the defaults — these are in-process links where a round trip
+            // is microseconds, and the experiments time whole runs.
+            let retry = RetryConfig {
+                base_timeout: Duration::from_micros(500),
+                backoff_factor: 2,
+                max_timeout: Duration::from_millis(16),
+            };
+            let reliable = Delivery::AtLeastOnce(retry);
+            topology = topology.with_link_faults(
+                LinkFaultPlan::new(seed)
+                    .lossy("source", "dispatcher", LinkFault::seeded(seed ^ 1))
+                    .lossy("dispatcher", "joiner", LinkFault::seeded(seed ^ 2))
+                    .lossy("joiner", "sink", LinkFault::seeded(seed ^ 3)),
+            );
+            topology.wire_with("source", "dispatcher", Grouping::global(), reliable);
+            topology.wire_with("dispatcher", "joiner", Grouping::direct(), reliable);
+            topology.wire_with("joiner", "sink", Grouping::global(), reliable);
+        }
+        None => {
+            topology.wire("source", "dispatcher", Grouping::global());
+            topology.wire("dispatcher", "joiner", Grouping::direct());
+            topology.wire("joiner", "sink", Grouping::global());
+        }
+    }
 
     let report = topology.run();
     let wall = report.elapsed;
@@ -439,6 +524,9 @@ fn run_internal(
     let mut joiners = std::mem::take(&mut *snapshots.lock());
     joiners.sort_by_key(|s| s.task);
 
+    let shed_records = std::mem::take(&mut *shed_log.lock());
+    debug_assert_eq!(shed_records.len() as u64, report.shed());
+
     DistributedJoinResult {
         pairs,
         latency,
@@ -446,6 +534,7 @@ fn run_internal(
         joiners,
         records: n_records,
         wall,
+        shed_records,
     }
 }
 
@@ -499,6 +588,9 @@ mod tests {
                 channel_capacity: 256,
                 source_rate: None,
                 fault: None,
+                chaos_seed: None,
+                shed_watermark: None,
+                replay_buffer_cap: None,
             };
             assert_eq!(run_keys(&records, &cfg), expect, "local={}", local.name());
         }
@@ -517,6 +609,9 @@ mod tests {
             channel_capacity: 256,
             source_rate: None,
             fault: None,
+            chaos_seed: None,
+            shed_watermark: None,
+            replay_buffer_cap: None,
         };
         assert_eq!(run_keys(&records, &cfg), expect);
     }
@@ -534,6 +629,9 @@ mod tests {
             channel_capacity: 256,
             source_rate: None,
             fault: None,
+            chaos_seed: None,
+            shed_watermark: None,
+            replay_buffer_cap: None,
         };
         assert_eq!(run_keys(&records, &cfg), expect);
     }
@@ -561,6 +659,9 @@ mod tests {
                 channel_capacity: 128,
                 source_rate: None,
                 fault: None,
+                chaos_seed: None,
+                shed_watermark: None,
+                replay_buffer_cap: None,
             };
             assert_eq!(run_keys(&records, &cfg), expect);
         }
@@ -595,6 +696,9 @@ mod tests {
             channel_capacity: 256,
             source_rate: None,
             fault: None,
+            chaos_seed: None,
+            shed_watermark: None,
+            replay_buffer_cap: None,
         };
         assert_eq!(run_keys(&records, &cfg), expect);
     }
@@ -613,6 +717,9 @@ mod tests {
             channel_capacity: 256,
             source_rate: None,
             fault: None,
+            chaos_seed: None,
+            shed_watermark: None,
+            replay_buffer_cap: None,
         };
         let result = run_distributed(&records, &cfg);
         assert!((result.replication() - 1.0).abs() < 1e-9);
@@ -635,6 +742,9 @@ mod tests {
             channel_capacity: 256,
             source_rate: None,
             fault: None,
+            chaos_seed: None,
+            shed_watermark: None,
+            replay_buffer_cap: None,
         };
         let length = run_distributed(
             &records,
@@ -664,6 +774,9 @@ mod tests {
             channel_capacity: 64,
             source_rate: None,
             fault: None,
+            chaos_seed: None,
+            shed_watermark: None,
+            replay_buffer_cap: None,
         };
         assert_eq!(run_keys(&records, &cfg), expect);
     }
@@ -727,6 +840,9 @@ mod tests {
                 channel_capacity: 128,
                 source_rate: None,
                 fault: None,
+                chaos_seed: None,
+                shed_watermark: None,
+                replay_buffer_cap: None,
             };
             let out = run_bistream_distributed(&left, &right, &cfg);
             let mut got: Vec<_> = out.pairs.iter().map(|m| m.key()).collect();
@@ -754,6 +870,9 @@ mod tests {
             channel_capacity: 64,
             source_rate: None,
             fault: None,
+            chaos_seed: None,
+            shed_watermark: None,
+            replay_buffer_cap: None,
         };
         let out = run_bistream_distributed(&left, &right, &cfg);
         let mut got: Vec<_> = out.pairs.iter().map(|m| m.key()).collect();
@@ -787,6 +906,9 @@ mod tests {
                 channel_capacity: 128,
                 source_rate: None,
                 fault: Some(FaultPlan::new().crash("joiner", 1, 40)),
+                chaos_seed: None,
+                shed_watermark: None,
+                replay_buffer_cap: None,
             };
             let result = run_distributed(&records, &cfg);
             let mut keys: Vec<_> = result.pairs.iter().map(|m| m.key()).collect();
@@ -831,6 +953,9 @@ mod tests {
                     .crash("joiner", 0, 120)
                     .crash("joiner", 2, 0),
             ),
+            chaos_seed: None,
+            shed_watermark: None,
+            replay_buffer_cap: None,
         };
         let result = run_distributed(&records, &cfg);
         assert_eq!(run_keys_of(&result), expect);
@@ -859,6 +984,9 @@ mod tests {
             channel_capacity: 64,
             source_rate: None,
             fault: Some(FaultPlan::new().crash("joiner", 0, 50)),
+            chaos_seed: None,
+            shed_watermark: None,
+            replay_buffer_cap: None,
         };
         let out = run_bistream_distributed(&left, &right, &cfg);
         assert_eq!(run_keys_of(&out), expect);
@@ -894,6 +1022,168 @@ mod tests {
             "duplicate result pairs"
         );
         keys
+    }
+
+    #[test]
+    fn chaos_mode_output_matches_fault_free_run() {
+        let records = workload(500, 0.3);
+        let join = JoinConfig::jaccard(0.7);
+        let expect = ground_truth(&records, join);
+        for seed in [1u64, 7, 42] {
+            let cfg = DistributedJoinConfig {
+                chaos_seed: Some(seed),
+                channel_capacity: 64,
+                ..DistributedJoinConfig::recommended(3, join)
+            };
+            let result = run_distributed(&records, &cfg);
+            let mut keys: Vec<_> = result.pairs.iter().map(|m| m.key()).collect();
+            keys.sort_unstable();
+            assert_eq!(keys, expect, "seed={seed}");
+            let (dropped, duped, delayed) = result.report.link_faults();
+            assert!(
+                dropped + duped + delayed > 0,
+                "seed={seed}: chaos plan injected nothing"
+            );
+            assert!(
+                result.report.total_retries() > 0,
+                "seed={seed}: drops must force retries"
+            );
+        }
+    }
+
+    #[test]
+    fn chaos_composes_with_joiner_crashes() {
+        let records = workload(600, 0.3);
+        let join = JoinConfig {
+            threshold: Threshold::jaccard(0.7),
+            window: Window::Count(150),
+        };
+        let expect = ground_truth(&records, join);
+        let cfg = DistributedJoinConfig {
+            k: 3,
+            join,
+            local: LocalAlgo::PpJoin,
+            strategy: Strategy::LengthAuto {
+                method: PartitionMethod::LoadAware,
+                sample: 100,
+            },
+            channel_capacity: 64,
+            source_rate: None,
+            fault: Some(FaultPlan::new().crash("joiner", 1, 40)),
+            chaos_seed: Some(99),
+            shed_watermark: None,
+            replay_buffer_cap: None,
+        };
+        let result = run_distributed(&records, &cfg);
+        assert_eq!(run_keys_of(&result), expect);
+        assert_eq!(result.report.total_restarts(), 1);
+    }
+
+    #[test]
+    fn shedding_under_overload_accounts_for_recall_exactly() {
+        // Slow joiners (naive local join over an unbounded window) behind
+        // tiny queues force the dispatcher over the shed watermark.
+        let records = workload(2000, 0.3);
+        let join = JoinConfig::jaccard(0.7);
+        let cfg = DistributedJoinConfig {
+            k: 2,
+            join,
+            local: LocalAlgo::Naive,
+            strategy: Strategy::LengthAuto {
+                method: PartitionMethod::LoadAware,
+                sample: 100,
+            },
+            channel_capacity: 8,
+            source_rate: None,
+            fault: None,
+            chaos_seed: None,
+            shed_watermark: Some(4),
+            replay_buffer_cap: None,
+        };
+        let result = run_distributed(&records, &cfg);
+        assert!(
+            result.report.shed() > 0,
+            "overload never tripped the watermark"
+        );
+        assert_eq!(
+            result.shed_records.len() as u64,
+            result.report.shed(),
+            "shed log and engine counter disagree"
+        );
+        // A shed record vanishes entirely, so the surviving output is
+        // exactly the join of the kept records — the recall gap is fully
+        // explained by the shed ids.
+        let shed: std::collections::HashSet<u64> = result.shed_records.iter().copied().collect();
+        let kept: Vec<Record> = records
+            .iter()
+            .filter(|r| !shed.contains(&r.id().0))
+            .cloned()
+            .collect();
+        let expect = ground_truth(&kept, join);
+        assert_eq!(run_keys_of(&result), expect);
+    }
+
+    #[test]
+    fn capped_replay_buffer_overflows_loudly_and_stays_duplicate_free() {
+        let records = workload(800, 0.3);
+        let join = JoinConfig::jaccard(0.7); // unbounded window: buffer grows
+        let expect = ground_truth(&records, join);
+        let cfg = DistributedJoinConfig {
+            k: 3,
+            join,
+            local: LocalAlgo::PpJoin,
+            strategy: Strategy::LengthAuto {
+                method: PartitionMethod::LoadAware,
+                sample: 100,
+            },
+            channel_capacity: 128,
+            source_rate: None,
+            fault: Some(FaultPlan::new().crash("joiner", 1, 100)),
+            chaos_seed: None,
+            shed_watermark: None,
+            replay_buffer_cap: Some(20),
+        };
+        let result = run_distributed(&records, &cfg);
+        assert!(
+            result.joiners[1].replay_overflow > 0,
+            "cap of 20 under an unbounded window must overflow"
+        );
+        // Lossy-but-loud: recovery may miss pairs (evicted index state)
+        // but never invents or duplicates them.
+        let keys = run_keys_of(&result);
+        let full: std::collections::HashSet<(u64, u64)> = expect.iter().copied().collect();
+        assert!(keys.iter().all(|k| full.contains(k)), "spurious pairs");
+        assert!(keys.len() <= expect.len());
+    }
+
+    #[test]
+    fn replay_cap_wider_than_window_keeps_recovery_exact() {
+        let records = workload(800, 0.3);
+        let join = JoinConfig {
+            threshold: Threshold::jaccard(0.7),
+            window: Window::Count(100),
+        };
+        let expect = ground_truth(&records, join);
+        let cfg = DistributedJoinConfig {
+            k: 3,
+            join,
+            local: LocalAlgo::PpJoin,
+            strategy: Strategy::LengthAuto {
+                method: PartitionMethod::LoadAware,
+                sample: 100,
+            },
+            channel_capacity: 128,
+            source_rate: None,
+            fault: Some(FaultPlan::new().crash("joiner", 1, 100)),
+            chaos_seed: None,
+            shed_watermark: None,
+            // Window::Count(100) keeps ≤ ~101 in-window entries per task;
+            // a 400-entry cap is never the binding constraint.
+            replay_buffer_cap: Some(400),
+        };
+        let result = run_distributed(&records, &cfg);
+        assert_eq!(run_keys_of(&result), expect);
+        assert!(result.joiners.iter().all(|j| j.replay_overflow == 0));
     }
 
     #[test]

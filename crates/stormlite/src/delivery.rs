@@ -1,0 +1,105 @@
+//! Per-wire delivery semantics.
+//!
+//! Every wire defaults to [`Delivery::BestEffort`]: tuples are pushed once
+//! into the destination channel and never tracked. Over a perfect
+//! in-process channel that is exactly-once FIFO; over a wire made lossy by
+//! a [`LinkFaultPlan`](crate::LinkFaultPlan) it degrades to at-most-once
+//! with reordering.
+//!
+//! [`Delivery::AtLeastOnce`] upgrades a wire to a reliable protocol:
+//!
+//! * the sender stamps each tuple with a dense per-(sender task, receiver
+//!   task) sequence number and keeps it until acknowledged;
+//! * the receiver acknowledges the first receipt of each sequence number,
+//!   discards duplicates, and buffers out-of-order arrivals so the bolt
+//!   sees strictly in-order input;
+//! * the sender retransmits unacknowledged tuples after a timeout, backing
+//!   off exponentially ([`RetryConfig`]), and blocks at end-of-stream until
+//!   every tuple is acknowledged — only then is the EOS marker sent.
+//!
+//! The combination yields *effectively-once FIFO* delivery to the bolt even
+//! when the link drops, duplicates, or reorders transmissions: every
+//! sequence number is eventually delivered (retry), delivered at most once
+//! to the bolt (dedup), and in order (reorder buffer). Because all data is
+//! acknowledged before EOS, and the underlying channel itself is FIFO, no
+//! tuple can arrive after the EOS marker.
+
+use std::time::Duration;
+
+/// Delivery semantics of one wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Delivery {
+    /// Fire-and-forget: exactly-once over a perfect channel, at-most-once
+    /// (and possibly reordered) over a lossy one. The default; adds no
+    /// tracking overhead.
+    #[default]
+    BestEffort,
+    /// Sequence numbers + acks + retry + receiver dedup: the bolt observes
+    /// effectively-once FIFO input even over a lossy link.
+    AtLeastOnce(RetryConfig),
+}
+
+impl Delivery {
+    /// Whether this wire runs the reliable protocol.
+    pub fn is_reliable(&self) -> bool {
+        matches!(self, Delivery::AtLeastOnce(_))
+    }
+}
+
+/// Retransmission policy for an [`Delivery::AtLeastOnce`] wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryConfig {
+    /// Wait this long after a transmission before the first retry.
+    pub base_timeout: Duration,
+    /// Multiply the timeout by this (integer) factor after every retry of
+    /// the same tuple.
+    pub backoff_factor: u32,
+    /// Never wait longer than this between retries of one tuple.
+    pub max_timeout: Duration,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        Self {
+            base_timeout: Duration::from_millis(2),
+            backoff_factor: 2,
+            max_timeout: Duration::from_millis(64),
+        }
+    }
+}
+
+impl RetryConfig {
+    /// The retry timeout after `retries` previous retransmissions of a
+    /// tuple: `base * factor^retries`, capped at `max_timeout`.
+    pub(crate) fn timeout_after(&self, retries: u32) -> Duration {
+        let factor = self.backoff_factor.max(1).saturating_pow(retries.min(16));
+        (self.base_timeout * factor).min(self.max_timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let cfg = RetryConfig {
+            base_timeout: Duration::from_millis(1),
+            backoff_factor: 2,
+            max_timeout: Duration::from_millis(10),
+        };
+        assert_eq!(cfg.timeout_after(0), Duration::from_millis(1));
+        assert_eq!(cfg.timeout_after(1), Duration::from_millis(2));
+        assert_eq!(cfg.timeout_after(2), Duration::from_millis(4));
+        assert_eq!(cfg.timeout_after(3), Duration::from_millis(8));
+        assert_eq!(cfg.timeout_after(4), Duration::from_millis(10));
+        assert_eq!(cfg.timeout_after(30), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn default_is_best_effort() {
+        assert_eq!(Delivery::default(), Delivery::BestEffort);
+        assert!(!Delivery::BestEffort.is_reliable());
+        assert!(Delivery::AtLeastOnce(RetryConfig::default()).is_reliable());
+    }
+}

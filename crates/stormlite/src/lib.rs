@@ -36,14 +36,18 @@
 
 #![warn(missing_docs)]
 
+pub mod delivery;
 pub mod fault;
 pub mod grouping;
+pub mod link;
 pub mod message;
 pub mod metrics;
 pub mod topology;
 
+pub use delivery::{Delivery, RetryConfig};
 pub use fault::{FaultPlan, FaultSpec};
 pub use grouping::Grouping;
+pub use link::{LinkFault, LinkFaultPlan, LinkFaultSpec};
 pub use message::{Bolt, CollectorBolt, Message, Outbox};
 pub use metrics::{LatencyHistogram, RunReport, TaskMetrics};
 pub use topology::Topology;

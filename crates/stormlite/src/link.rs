@@ -1,0 +1,299 @@
+//! Deterministic link-fault injection: lossy wires.
+//!
+//! A [`LinkFaultPlan`] makes specific wires of a topology *imperfect*: each
+//! transmission on a targeted wire may be dropped, duplicated, or delayed
+//! (held back and released after up to `max_delay` later transmissions,
+//! which reorders the link). Decisions are derived deterministically from
+//! the plan seed, the wire, and the sending task's per-link transmission
+//! counter, so a seeded plan replays exactly — mirroring how
+//! [`FaultPlan`](crate::FaultPlan) makes crashes reproducible. An empty
+//! plan adds nothing to the hot path: wires without a spec carry no chaos
+//! state at all.
+//!
+//! Link faults model the *network*, not the application: they apply to data
+//! transmissions only (including retransmissions on reliable wires), never
+//! to end-of-stream markers or acks, so a chaotic topology still
+//! terminates.
+//!
+//! On a default ([`Delivery::BestEffort`](crate::Delivery::BestEffort))
+//! wire the faults are observable: drops lose tuples (at-most-once), dups
+//! double-deliver, delays reorder. On a
+//! [`Delivery::AtLeastOnce`](crate::Delivery::AtLeastOnce) wire the
+//! reliable-delivery protocol (see [`crate::delivery`]) masks all three and
+//! the receiving bolt observes effectively-once FIFO input.
+
+/// The fault mix of one lossy wire. Rates are per *transmission* and are
+/// evaluated in order drop → duplicate → delay, so their sum must be ≤ 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFault {
+    /// Probability a transmission is silently dropped.
+    pub drop_rate: f64,
+    /// Probability a transmission is delivered twice.
+    pub dup_rate: f64,
+    /// Probability a transmission is held back and released after `1 ..=
+    /// max_delay` later transmissions on the same link (reordering it).
+    pub delay_rate: f64,
+    /// Upper bound on how many later transmissions a delayed tuple can be
+    /// reordered behind (the "reorder within k" bound).
+    pub max_delay: usize,
+}
+
+impl LinkFault {
+    /// A fault mix derived deterministically from `seed`: drop in [0, 0.3),
+    /// dup in [0, 0.2), delay in [0, 0.4), reorder window in 1..=8. The
+    /// ranges keep every seed usable on an at-least-once wire (drop rate
+    /// stays well below 1, so retries terminate).
+    pub fn seeded(seed: u64) -> Self {
+        let unit = |s: u64| splitmix64(s) as f64 / u64::MAX as f64;
+        Self {
+            drop_rate: 0.3 * unit(seed ^ 0x0d0d),
+            dup_rate: 0.2 * unit(seed ^ 0xd0d0),
+            delay_rate: 0.4 * unit(seed ^ 0x7e7e),
+            max_delay: 1 + (splitmix64(seed ^ 0x5a5a) % 8) as usize,
+        }
+    }
+
+    fn validate(&self) {
+        for (name, r) in [
+            ("drop_rate", self.drop_rate),
+            ("dup_rate", self.dup_rate),
+            ("delay_rate", self.delay_rate),
+        ] {
+            assert!((0.0..=1.0).contains(&r), "{name} must be in [0, 1]");
+        }
+        assert!(
+            self.drop_rate + self.dup_rate + self.delay_rate <= 1.0 + 1e-9,
+            "fault rates must sum to at most 1"
+        );
+        assert!(
+            self.delay_rate == 0.0 || self.max_delay >= 1,
+            "delay_rate > 0 needs max_delay >= 1"
+        );
+    }
+}
+
+/// One lossy wire: the fault mix applied to every transmission from `from`
+/// to `to`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkFaultSpec {
+    /// Source component name as registered with the topology.
+    pub from: String,
+    /// Destination component name.
+    pub to: String,
+    /// The fault mix.
+    pub fault: LinkFault,
+}
+
+/// A seeded set of lossy wires for one topology run.
+///
+/// ```
+/// use stormlite::{LinkFault, LinkFaultPlan};
+///
+/// let plan = LinkFaultPlan::new(42)
+///     .lossy("dispatcher", "joiner", LinkFault::seeded(42));
+/// assert_eq!(plan.specs().len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkFaultPlan {
+    seed: u64,
+    specs: Vec<LinkFaultSpec>,
+}
+
+impl Default for LinkFaultPlan {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+impl LinkFaultPlan {
+    /// An empty plan (perfect wires) with the given decision seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            specs: Vec::new(),
+        }
+    }
+
+    /// Makes the `from` → `to` wire lossy with the given fault mix.
+    pub fn lossy(mut self, from: &str, to: &str, fault: LinkFault) -> Self {
+        fault.validate();
+        self.specs.push(LinkFaultSpec {
+            from: from.to_owned(),
+            to: to.to_owned(),
+            fault,
+        });
+        self
+    }
+
+    /// Whether the plan makes no wire lossy.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// All lossy wires.
+    pub fn specs(&self) -> &[LinkFaultSpec] {
+        &self.specs
+    }
+
+    /// The decision seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The dice for one sending task's copy of a wire, if that wire is
+    /// lossy. Each (wire, task) link gets an independent deterministic
+    /// decision stream.
+    pub(crate) fn dice_for(
+        &self,
+        from: &str,
+        to: &str,
+        wire_index: usize,
+        sender_task: usize,
+    ) -> Option<ChaosDice> {
+        let spec = self.specs.iter().find(|s| s.from == from && s.to == to)?;
+        Some(ChaosDice {
+            fault: spec.fault,
+            state: splitmix64(
+                self.seed
+                    ^ (wire_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    ^ (sender_task as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F),
+            ),
+        })
+    }
+}
+
+/// What the chaos layer does with one transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum LinkAction {
+    /// Deliver normally.
+    Pass,
+    /// Silently discard this transmission.
+    Drop,
+    /// Deliver it twice.
+    Duplicate,
+    /// Hold it back for the given number of later transmissions (≥ 1).
+    Delay(usize),
+}
+
+/// The deterministic per-link decision stream.
+#[derive(Debug, Clone)]
+pub(crate) struct ChaosDice {
+    fault: LinkFault,
+    state: u64,
+}
+
+impl ChaosDice {
+    /// The action for the next transmission on this link.
+    pub(crate) fn roll(&mut self) -> LinkAction {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let draw = mix(self.state) as f64 / u64::MAX as f64;
+        let f = &self.fault;
+        if draw < f.drop_rate {
+            LinkAction::Drop
+        } else if draw < f.drop_rate + f.dup_rate {
+            LinkAction::Duplicate
+        } else if draw < f.drop_rate + f.dup_rate + f.delay_rate {
+            let d = 1 + (mix(self.state ^ 0xABCD) % f.max_delay.max(1) as u64) as usize;
+            LinkAction::Delay(d)
+        } else {
+            LinkAction::Pass
+        }
+    }
+}
+
+/// SplitMix64 finalizer (same mixing as `fault.rs`).
+fn mix(seed: u64) -> u64 {
+    let mut z = seed;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// SplitMix64 step + finalizer.
+fn splitmix64(seed: u64) -> u64 {
+    mix(seed.wrapping_add(0x9E37_79B9_7F4A_7C15))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_faults_are_deterministic_and_in_range() {
+        for seed in 0..200u64 {
+            let a = LinkFault::seeded(seed);
+            let b = LinkFault::seeded(seed);
+            assert_eq!(a, b);
+            assert!((0.0..0.3).contains(&a.drop_rate));
+            assert!((0.0..0.2).contains(&a.dup_rate));
+            assert!((0.0..0.4).contains(&a.delay_rate));
+            assert!((1..=8).contains(&a.max_delay));
+        }
+    }
+
+    #[test]
+    fn dice_streams_are_deterministic_per_link() {
+        let plan = LinkFaultPlan::new(7).lossy("a", "b", LinkFault::seeded(7));
+        let mut d1 = plan.dice_for("a", "b", 0, 2).unwrap();
+        let mut d2 = plan.dice_for("a", "b", 0, 2).unwrap();
+        let s1: Vec<LinkAction> = (0..100).map(|_| d1.roll()).collect();
+        let s2: Vec<LinkAction> = (0..100).map(|_| d2.roll()).collect();
+        assert_eq!(s1, s2);
+        // A different task index explores a different stream.
+        let mut d3 = plan.dice_for("a", "b", 0, 3).unwrap();
+        let s3: Vec<LinkAction> = (0..100).map(|_| d3.roll()).collect();
+        assert_ne!(s1, s3);
+    }
+
+    #[test]
+    fn untargeted_wires_carry_no_dice() {
+        let plan = LinkFaultPlan::new(1).lossy("a", "b", LinkFault::seeded(1));
+        assert!(plan.dice_for("a", "c", 1, 0).is_none());
+        assert!(plan.dice_for("b", "a", 2, 0).is_none());
+        assert!(LinkFaultPlan::new(1).is_empty());
+    }
+
+    #[test]
+    fn rolls_roughly_match_rates() {
+        let fault = LinkFault {
+            drop_rate: 0.25,
+            dup_rate: 0.25,
+            delay_rate: 0.25,
+            max_delay: 4,
+        };
+        let plan = LinkFaultPlan::new(3).lossy("a", "b", fault);
+        let mut dice = plan.dice_for("a", "b", 0, 0).unwrap();
+        let n = 20_000;
+        let mut counts = [0usize; 4];
+        for _ in 0..n {
+            match dice.roll() {
+                LinkAction::Pass => counts[0] += 1,
+                LinkAction::Drop => counts[1] += 1,
+                LinkAction::Duplicate => counts[2] += 1,
+                LinkAction::Delay(d) => {
+                    assert!((1..=4).contains(&d));
+                    counts[3] += 1;
+                }
+            }
+        }
+        for &c in &counts {
+            let frac = c as f64 / n as f64;
+            assert!((0.2..0.3).contains(&frac), "skewed dice: {counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to at most 1")]
+    fn overfull_rates_rejected() {
+        let _ = LinkFaultPlan::new(0).lossy(
+            "a",
+            "b",
+            LinkFault {
+                drop_rate: 0.6,
+                dup_rate: 0.5,
+                delay_rate: 0.0,
+                max_delay: 1,
+            },
+        );
+    }
+}

@@ -1,11 +1,14 @@
 //! Messages, bolts and the emission context.
 
+use crate::delivery::RetryConfig;
 use crate::grouping::Grouping;
+use crate::link::{ChaosDice, LinkAction};
 use crate::metrics::TaskMetrics;
-use crossbeam::channel::Sender;
+use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// A tuple payload flowing through a topology.
 ///
@@ -20,15 +23,53 @@ pub trait Message: Send + Clone + 'static {
     }
 }
 
+/// An acknowledgement flowing back from a receiver to the sending task of
+/// one reliable wire: "task `dest` has received sequence number `seq`".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Ack {
+    pub(crate) dest: usize,
+    pub(crate) seq: u64,
+}
+
 /// The envelope moving through channels: payload plus queueing metadata,
 /// or the end-of-stream marker.
-#[derive(Debug)]
 pub(crate) enum Envelope<M> {
     /// A data tuple and the instant it was enqueued (for queue-wait
-    /// metrics).
+    /// metrics). Best-effort wires only.
     Data(M, Instant),
+    /// A data tuple on a reliable wire: stamped with its link identity and
+    /// per-destination sequence number, and carrying the handle the
+    /// receiver acknowledges on. Retransmissions reuse the original
+    /// `sent_at` so queue-wait metrics include retry latency.
+    Seq {
+        /// The payload.
+        msg: M,
+        /// Original emission instant.
+        sent_at: Instant,
+        /// Identity of the (wire, sender task) link this flows on.
+        link: u64,
+        /// Dense per-(link, destination) sequence number.
+        seq: u64,
+        /// Where the receiver acknowledges receipt.
+        ack: Sender<Ack>,
+    },
     /// One upstream task finished.
     Eos,
+}
+
+impl<M: std::fmt::Debug> std::fmt::Debug for Envelope<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Envelope::Data(m, _) => f.debug_tuple("Data").field(m).finish(),
+            Envelope::Seq { msg, link, seq, .. } => f
+                .debug_struct("Seq")
+                .field("msg", msg)
+                .field("link", link)
+                .field("seq", seq)
+                .finish(),
+            Envelope::Eos => f.write_str("Eos"),
+        }
+    }
 }
 
 /// A processing vertex: receives tuples, may emit downstream.
@@ -61,12 +102,316 @@ impl<M: Message> Bolt<M> for CollectorBolt<M> {
     }
 }
 
+/// A transmittable unit: what the chaos layer and the retry loop re-send.
+enum Packet<M> {
+    Plain(M, Instant),
+    Seq(M, Instant, u64),
+}
+
+impl<M: Clone> Clone for Packet<M> {
+    fn clone(&self) -> Self {
+        match self {
+            Packet::Plain(m, t) => Packet::Plain(m.clone(), *t),
+            Packet::Seq(m, t, s) => Packet::Seq(m.clone(), *t, *s),
+        }
+    }
+}
+
+/// Sender-side chaos state of one lossy link: the decision dice plus the
+/// buffer of delayed transmissions (each released after its countdown of
+/// subsequent transmissions reaches zero).
+pub(crate) struct Chaos<M> {
+    dice: ChaosDice,
+    delayed: Vec<(usize, usize, Packet<M>)>,
+}
+
+impl<M> Chaos<M> {
+    pub(crate) fn new(dice: ChaosDice) -> Self {
+        Self {
+            dice,
+            delayed: Vec::new(),
+        }
+    }
+}
+
+/// One tuple awaiting acknowledgement on a reliable wire.
+struct Pending<M> {
+    msg: M,
+    sent_at: Instant,
+    last_tx: Instant,
+    retries: u32,
+}
+
+/// Sender-side state of one [`AtLeastOnce`](crate::Delivery::AtLeastOnce)
+/// wire: per-destination sequence counters, the unacknowledged window, and
+/// the ack backchannel. The sender keeps its own `ack_tx` clone so the ack
+/// channel can never disconnect while tuples are in flight.
+pub(crate) struct ReliableTx<M> {
+    retry: RetryConfig,
+    next_seq: Vec<u64>,
+    unacked: HashMap<(usize, u64), Pending<M>>,
+    ack_tx: Sender<Ack>,
+    ack_rx: Receiver<Ack>,
+}
+
+impl<M> ReliableTx<M> {
+    pub(crate) fn new(retry: RetryConfig, n_dests: usize) -> Self {
+        let (ack_tx, ack_rx) = unbounded();
+        Self {
+            retry,
+            next_seq: vec![0; n_dests],
+            unacked: HashMap::new(),
+            ack_tx,
+            ack_rx,
+        }
+    }
+}
+
+/// Receiver-side state of one reliable link: the next expected sequence
+/// number and the reorder buffer. Lives in the task's receive loop (not in
+/// the bolt instance), so it survives bolt crashes and restarts — dedup
+/// therefore composes with application-level replay.
+pub(crate) struct ReliableRx<M> {
+    next: u64,
+    pending: BTreeMap<u64, (M, Instant)>,
+}
+
+impl<M> Default for ReliableRx<M> {
+    fn default() -> Self {
+        Self {
+            next: 0,
+            pending: BTreeMap::new(),
+        }
+    }
+}
+
+impl<M> ReliableRx<M> {
+    /// Accepts one transmission. Returns `true` if it was a duplicate;
+    /// otherwise pushes every tuple that is now deliverable in sequence
+    /// order onto `deliverable`.
+    pub(crate) fn accept(
+        &mut self,
+        seq: u64,
+        msg: M,
+        sent_at: Instant,
+        deliverable: &mut Vec<(M, Instant)>,
+    ) -> bool {
+        if seq < self.next || self.pending.contains_key(&seq) {
+            return true;
+        }
+        self.pending.insert(seq, (msg, sent_at));
+        while let Some(entry) = self.pending.remove(&self.next) {
+            deliverable.push(entry);
+            self.next += 1;
+        }
+        false
+    }
+}
+
 /// One outgoing wire from a task: the grouping plus a sender per
-/// destination task.
+/// destination task, and the optional chaos / reliable-delivery layers.
 pub(crate) struct OutWire<M> {
     pub(crate) grouping: Grouping<M>,
     pub(crate) senders: Vec<Sender<Envelope<M>>>,
     pub(crate) rr_next: usize,
+    /// Identity of this (wire, sender task) link, carried in every `Seq`
+    /// envelope so receivers keep independent per-link sequence state.
+    pub(crate) link: u64,
+    pub(crate) chaos: Option<Chaos<M>>,
+    pub(crate) reliable: Option<ReliableTx<M>>,
+}
+
+impl<M: Message> OutWire<M> {
+    /// A perfect best-effort wire (test construction convenience).
+    #[cfg(test)]
+    pub(crate) fn plain(grouping: Grouping<M>, senders: Vec<Sender<Envelope<M>>>) -> Self {
+        Self {
+            grouping,
+            senders,
+            rr_next: 0,
+            link: 0,
+            chaos: None,
+            reliable: None,
+        }
+    }
+
+    /// Queues one logical emission to `dest`, through the reliable layer
+    /// (sequence stamping + retry tracking) and the chaos layer.
+    fn dispatch(&mut self, dest: usize, msg: M, now: Instant, metrics: &mut TaskMetrics) {
+        metrics.msgs_out += 1;
+        metrics.bytes_out += msg.wire_bytes();
+        let packet = if let Some(rel) = &mut self.reliable {
+            let seq = rel.next_seq[dest];
+            rel.next_seq[dest] = seq + 1;
+            rel.unacked.insert(
+                (dest, seq),
+                Pending {
+                    msg: msg.clone(),
+                    sent_at: now,
+                    last_tx: Instant::now(),
+                    retries: 0,
+                },
+            );
+            Packet::Seq(msg, now, seq)
+        } else {
+            Packet::Plain(msg, now)
+        };
+        self.transmit(dest, packet, metrics);
+        self.pump(metrics);
+    }
+
+    /// One physical transmission attempt: rolls the chaos dice (if the
+    /// link is lossy), ages the delay buffer by one transmission, and
+    /// releases any delayed packets that have come due.
+    fn transmit(&mut self, dest: usize, packet: Packet<M>, metrics: &mut TaskMetrics) {
+        let Some(chaos) = &mut self.chaos else {
+            self.send_packet(dest, packet);
+            return;
+        };
+        // Age previously delayed packets by this transmission; collect the
+        // ones whose countdown expired.
+        let mut due = Vec::new();
+        let mut i = 0;
+        while i < chaos.delayed.len() {
+            chaos.delayed[i].0 -= 1;
+            if chaos.delayed[i].0 == 0 {
+                let (_, d, p) = chaos.delayed.swap_remove(i);
+                due.push((d, p));
+            } else {
+                i += 1;
+            }
+        }
+        match chaos.dice.roll() {
+            LinkAction::Pass => {
+                self.send_packet(dest, packet);
+            }
+            LinkAction::Drop => {
+                metrics.link_dropped += 1;
+            }
+            LinkAction::Duplicate => {
+                metrics.link_duped += 1;
+                self.send_packet(dest, packet.clone());
+                self.send_packet(dest, packet);
+            }
+            LinkAction::Delay(countdown) => {
+                metrics.link_delayed += 1;
+                self.chaos
+                    .as_mut()
+                    .expect("chaos checked above")
+                    .delayed
+                    .push((countdown, dest, packet));
+            }
+        }
+        for (d, p) in due {
+            // A delayed packet already had its fault; deliver it directly.
+            self.send_packet(d, p);
+        }
+    }
+
+    /// Pushes one packet into the destination channel.
+    fn send_packet(&self, dest: usize, packet: Packet<M>) {
+        let envelope = match packet {
+            Packet::Plain(msg, sent_at) => Envelope::Data(msg, sent_at),
+            Packet::Seq(msg, sent_at, seq) => Envelope::Seq {
+                msg,
+                sent_at,
+                link: self.link,
+                seq,
+                ack: self
+                    .reliable
+                    .as_ref()
+                    .expect("Seq packets exist only on reliable wires")
+                    .ack_tx
+                    .clone(),
+            },
+        };
+        self.senders[dest]
+            .send(envelope)
+            .expect("receiver alive until EOS");
+    }
+
+    /// Drains pending acknowledgements from the backchannel.
+    fn drain_acks(&mut self) {
+        if let Some(rel) = &mut self.reliable {
+            while let Ok(ack) = rel.ack_rx.try_recv() {
+                rel.unacked.remove(&(ack.dest, ack.seq));
+            }
+        }
+    }
+
+    /// Retransmits every unacknowledged tuple whose retry timeout (with
+    /// exponential backoff) has expired. Retransmissions go through the
+    /// chaos layer again — each attempt rolls fresh dice, so a retried
+    /// tuple is never deterministically re-dropped.
+    fn retransmit_overdue(&mut self, metrics: &mut TaskMetrics) {
+        let now = Instant::now();
+        let mut to_retx = Vec::new();
+        if let Some(rel) = &mut self.reliable {
+            for ((dest, seq), p) in rel.unacked.iter_mut() {
+                if now.duration_since(p.last_tx) >= rel.retry.timeout_after(p.retries) {
+                    p.retries += 1;
+                    p.last_tx = now;
+                    metrics.retries += 1;
+                    metrics.max_backoff =
+                        metrics.max_backoff.max(rel.retry.timeout_after(p.retries));
+                    to_retx.push((*dest, Packet::Seq(p.msg.clone(), p.sent_at, *seq)));
+                }
+            }
+        }
+        for (dest, packet) in to_retx {
+            self.transmit(dest, packet, metrics);
+        }
+    }
+
+    /// Opportunistic maintenance, piggybacked on every emission: drain
+    /// acks, then retransmit anything overdue. A no-op on best-effort
+    /// wires and O(1) when nothing is pending.
+    fn pump(&mut self, metrics: &mut TaskMetrics) {
+        let Some(rel) = &self.reliable else { return };
+        let idle = rel.unacked.is_empty() && rel.ack_rx.is_empty();
+        if idle {
+            return;
+        }
+        self.drain_acks();
+        self.retransmit_overdue(metrics);
+    }
+
+    /// Releases every still-delayed packet immediately. Called at
+    /// end-of-stream (no further transmissions would age the buffer) and
+    /// between settle rounds.
+    fn flush_delayed(&mut self) {
+        if let Some(chaos) = &mut self.chaos {
+            for (_, dest, packet) in std::mem::take(&mut chaos.delayed) {
+                self.send_packet(dest, packet);
+            }
+        }
+    }
+
+    /// Blocks until every tuple sent on this wire has been acknowledged,
+    /// retransmitting as needed. Once this returns, the (FIFO) channel
+    /// holds no data the receiver has not already seen — so the EOS marker
+    /// sent after it cannot overtake any tuple.
+    fn settle(&mut self, metrics: &mut TaskMetrics) {
+        self.flush_delayed();
+        loop {
+            self.drain_acks();
+            let Some(rel) = &mut self.reliable else {
+                return;
+            };
+            if rel.unacked.is_empty() {
+                return;
+            }
+            // Wait briefly for in-flight acks before retrying; acks ride an
+            // unbounded channel the sender itself keeps open, so this can
+            // only time out, never disconnect, while tuples are pending.
+            let wait = rel.retry.base_timeout.min(Duration::from_millis(1));
+            if let Ok(ack) = rel.ack_rx.recv_timeout(wait) {
+                rel.unacked.remove(&(ack.dest, ack.seq));
+            }
+            self.retransmit_overdue(metrics);
+            self.flush_delayed();
+        }
+    }
 }
 
 /// The emission context handed to bolts (and used by spout drivers).
@@ -99,37 +444,21 @@ impl<M: Message> Outbox<M> {
                     let t = wire.rr_next % wire.senders.len();
                     wire.rr_next = wire.rr_next.wrapping_add(1);
                     let m = msg.clone();
-                    self.metrics.msgs_out += 1;
-                    self.metrics.bytes_out += m.wire_bytes();
-                    wire.senders[t]
-                        .send(Envelope::Data(m, now))
-                        .expect("receiver alive until EOS");
+                    wire.dispatch(t, m, now, &mut self.metrics);
                 }
                 Grouping::Global => {
                     let m = msg.clone();
-                    self.metrics.msgs_out += 1;
-                    self.metrics.bytes_out += m.wire_bytes();
-                    wire.senders[0]
-                        .send(Envelope::Data(m, now))
-                        .expect("receiver alive until EOS");
+                    wire.dispatch(0, m, now, &mut self.metrics);
                 }
                 Grouping::Fields(f) => {
                     let t = (f(&msg) % wire.senders.len() as u64) as usize;
                     let m = msg.clone();
-                    self.metrics.msgs_out += 1;
-                    self.metrics.bytes_out += m.wire_bytes();
-                    wire.senders[t]
-                        .send(Envelope::Data(m, now))
-                        .expect("receiver alive until EOS");
+                    wire.dispatch(t, m, now, &mut self.metrics);
                 }
                 Grouping::Broadcast => {
                     for t in 0..wire.senders.len() {
                         let m = msg.clone();
-                        self.metrics.msgs_out += 1;
-                        self.metrics.bytes_out += m.wire_bytes();
-                        wire.senders[t]
-                            .send(Envelope::Data(m, now))
-                            .expect("receiver alive until EOS");
+                        wire.dispatch(t, m, now, &mut self.metrics);
                     }
                 }
             }
@@ -150,17 +479,38 @@ impl<M: Message> Outbox<M> {
             }
             hit = true;
             let m = msg.clone();
-            self.metrics.msgs_out += 1;
-            self.metrics.bytes_out += m.wire_bytes();
-            wire.senders[task]
-                .send(Envelope::Data(m, now))
-                .expect("receiver alive until EOS");
+            wire.dispatch(task, m, now, &mut self.metrics);
         }
         assert!(hit, "emit_direct requires a Direct-grouped outgoing wire");
     }
 
+    /// Current depth of `task`'s input queue, maximized over this task's
+    /// Direct-grouped outgoing wires — the signal an overload policy
+    /// watches before deciding to shed (zero when there is no direct
+    /// wire).
+    pub fn direct_queue_depth(&self, task: usize) -> usize {
+        self.wires
+            .iter()
+            .filter(|w| matches!(w.grouping, Grouping::Direct))
+            .map(|w| w.senders[task].len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Records `n` input records dropped by this task's overload policy.
+    /// Shedding must always be accounted: the counter surfaces as
+    /// [`RunReport::shed`](crate::RunReport::shed).
+    pub fn record_shed(&mut self, n: u64) {
+        self.metrics.shed += n;
+    }
+
     pub(crate) fn send_eos(&mut self) {
-        for wire in &mut self.wires {
+        for w in 0..self.wires.len() {
+            let wire = &mut self.wires[w];
+            // Reliable wires first settle (flush delayed transmissions,
+            // await every ack); only then may EOS enter the channel.
+            wire.settle(&mut self.metrics);
+            wire.flush_delayed();
             for s in &wire.senders {
                 s.send(Envelope::Eos).expect("receiver alive until EOS");
             }
@@ -194,11 +544,7 @@ mod tests {
         }
         (
             Outbox {
-                wires: vec![OutWire {
-                    grouping,
-                    senders,
-                    rr_next: 0,
-                }],
+                wires: vec![OutWire::plain(grouping, senders)],
                 task_index: 0,
                 metrics: TaskMetrics::default(),
             },
@@ -208,7 +554,7 @@ mod tests {
 
     fn data_count(r: &crossbeam::channel::Receiver<Envelope<N>>) -> usize {
         r.try_iter()
-            .filter(|e| matches!(e, Envelope::Data(..)))
+            .filter(|e| matches!(e, Envelope::Data(..) | Envelope::Seq { .. }))
             .count()
     }
 
@@ -276,5 +622,49 @@ mod tests {
         for r in &rs {
             assert!(matches!(r.try_recv().unwrap(), Envelope::Eos));
         }
+    }
+
+    #[test]
+    fn direct_queue_depth_tracks_backlog() {
+        let (mut o, rs) = outbox_with(Grouping::Direct, 2);
+        assert_eq!(o.direct_queue_depth(0), 0);
+        o.emit_direct(0, N(1));
+        o.emit_direct(0, N(2));
+        o.emit_direct(1, N(3));
+        assert_eq!(o.direct_queue_depth(0), 2);
+        assert_eq!(o.direct_queue_depth(1), 1);
+        assert_eq!(data_count(&rs[0]), 2);
+        assert_eq!(o.direct_queue_depth(0), 0);
+    }
+
+    #[test]
+    fn record_shed_counts_in_metrics() {
+        let (mut o, _rs) = outbox_with(Grouping::global(), 1);
+        o.record_shed(3);
+        o.record_shed(2);
+        assert_eq!(o.metrics.shed, 5);
+    }
+
+    #[test]
+    fn reliable_rx_delivers_in_order_and_dedups() {
+        let mut rx = ReliableRx::default();
+        let now = Instant::now();
+        let mut out = Vec::new();
+        // Out of order: 1 buffers, 0 releases both.
+        assert!(!rx.accept(1, N(1), now, &mut out));
+        assert!(out.is_empty());
+        assert!(!rx.accept(0, N(0), now, &mut out));
+        assert_eq!(out.iter().map(|(m, _)| m.0).collect::<Vec<_>>(), [0, 1]);
+        // Duplicates of delivered and pending seqs are rejected.
+        assert!(rx.accept(0, N(0), now, &mut out));
+        assert!(!rx.accept(3, N(3), now, &mut out));
+        assert!(rx.accept(3, N(3), now, &mut out));
+        assert_eq!(out.len(), 2);
+        // The gap fills, everything drains.
+        assert!(!rx.accept(2, N(2), now, &mut out));
+        assert_eq!(
+            out.iter().map(|(m, _)| m.0).collect::<Vec<_>>(),
+            [0, 1, 2, 3]
+        );
     }
 }

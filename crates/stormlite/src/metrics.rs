@@ -104,6 +104,26 @@ pub struct TaskMetrics {
     pub busy: Duration,
     /// Time tuples spent waiting in this task's input queue.
     pub queue_wait: LatencyHistogram,
+    /// Retransmissions sent on this task's
+    /// [`AtLeastOnce`](crate::Delivery::AtLeastOnce) outgoing wires.
+    pub retries: u64,
+    /// Duplicate transmissions discarded by this task's receiver-side
+    /// dedup (reliable wires only).
+    pub dup_drops: u64,
+    /// Transmissions dropped by injected link faults on outgoing wires.
+    pub link_dropped: u64,
+    /// Transmissions duplicated by injected link faults.
+    pub link_duped: u64,
+    /// Transmissions delayed (reordered) by injected link faults.
+    pub link_delayed: u64,
+    /// Input records shed by this task's overload policy
+    /// (see [`Outbox::record_shed`](crate::Outbox::record_shed)).
+    pub shed: u64,
+    /// Tuples consumed by an organic bolt panic and never redelivered
+    /// (see [`Topology::with_supervised_restarts`](crate::Topology::with_supervised_restarts)).
+    pub dropped_poisoned: u64,
+    /// Largest retry backoff reached on this task's reliable wires.
+    pub max_backoff: Duration,
 }
 
 impl TaskMetrics {
@@ -115,6 +135,14 @@ impl TaskMetrics {
         self.bytes_out += other.bytes_out;
         self.busy += other.busy;
         self.queue_wait.merge(&other.queue_wait);
+        self.retries += other.retries;
+        self.dup_drops += other.dup_drops;
+        self.link_dropped += other.link_dropped;
+        self.link_duped += other.link_duped;
+        self.link_delayed += other.link_delayed;
+        self.shed += other.shed;
+        self.dropped_poisoned += other.dropped_poisoned;
+        self.max_backoff = self.max_backoff.max(other.max_backoff);
     }
 }
 
@@ -161,6 +189,47 @@ impl RunReport {
     /// Sum of bytes moved between tasks (counted at emission).
     pub fn total_bytes(&self) -> u64 {
         self.tasks.iter().map(|(_, _, m)| m.bytes_out).sum()
+    }
+
+    /// Records shed by overload policies across all tasks. Every shed
+    /// record is an explicit, accounted recall loss — never a silent drop.
+    pub fn shed(&self) -> u64 {
+        self.tasks.iter().map(|(_, _, m)| m.shed).sum()
+    }
+
+    /// Tuples consumed by organic bolt panics across all tasks (the
+    /// poisoned tuple is intentionally not redelivered; this counter is
+    /// its trace).
+    pub fn dropped_poisoned(&self) -> u64 {
+        self.tasks.iter().map(|(_, _, m)| m.dropped_poisoned).sum()
+    }
+
+    /// Retransmissions across all reliable wires.
+    pub fn total_retries(&self) -> u64 {
+        self.tasks.iter().map(|(_, _, m)| m.retries).sum()
+    }
+
+    /// Duplicate transmissions discarded by receiver-side dedup across all
+    /// tasks.
+    pub fn total_dup_drops(&self) -> u64 {
+        self.tasks.iter().map(|(_, _, m)| m.dup_drops).sum()
+    }
+
+    /// Transmissions affected by injected link faults across all tasks:
+    /// `(dropped, duplicated, delayed)`.
+    pub fn link_faults(&self) -> (u64, u64, u64) {
+        self.tasks.iter().fold((0, 0, 0), |(d, u, l), (_, _, m)| {
+            (d + m.link_dropped, u + m.link_duped, l + m.link_delayed)
+        })
+    }
+
+    /// Largest retry backoff reached on any task's reliable wires.
+    pub fn max_backoff(&self) -> Duration {
+        self.tasks
+            .iter()
+            .map(|(_, _, m)| m.max_backoff)
+            .max()
+            .unwrap_or(Duration::ZERO)
     }
 
     /// Aggregated metrics of one component across its tasks.

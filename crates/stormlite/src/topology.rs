@@ -1,11 +1,16 @@
 //! Topology construction and execution.
 
+use crate::delivery::Delivery;
 use crate::fault::FaultPlan;
 use crate::grouping::Grouping;
-use crate::message::{Bolt, CollectorBolt, Envelope, Message, OutWire, Outbox};
+use crate::link::LinkFaultPlan;
+use crate::message::{
+    Ack, Bolt, Chaos, CollectorBolt, Envelope, Message, OutWire, Outbox, ReliableRx, ReliableTx,
+};
 use crate::metrics::{RunReport, TaskMetrics};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -28,6 +33,7 @@ struct WireDef<M> {
     from: usize,
     to: usize,
     grouping: Grouping<M>,
+    delivery: Delivery,
 }
 
 /// A dataflow graph of spouts and bolts, executed with one thread per task.
@@ -40,6 +46,7 @@ pub struct Topology<M: Message> {
     wires: Vec<WireDef<M>>,
     channel_capacity: usize,
     fault_plan: FaultPlan,
+    link_plan: LinkFaultPlan,
     restart_budget: u64,
 }
 
@@ -57,6 +64,7 @@ impl<M: Message> Topology<M> {
             wires: Vec::new(),
             channel_capacity: DEFAULT_CHANNEL_CAPACITY,
             fault_plan: FaultPlan::new(),
+            link_plan: LinkFaultPlan::default(),
             restart_budget: 0,
         }
     }
@@ -76,6 +84,16 @@ impl<M: Message> Topology<M> {
     /// [`RunReport::restarts`].
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = plan;
+        self
+    }
+
+    /// Injects the given link-fault plan: targeted wires drop, duplicate
+    /// and delay (reorder) transmissions deterministically per seed. On a
+    /// default best-effort wire the faults are observable downstream; on an
+    /// [`Delivery::AtLeastOnce`] wire the reliable protocol masks them.
+    /// Wires without a spec are untouched and pay no overhead.
+    pub fn with_link_faults(mut self, plan: LinkFaultPlan) -> Self {
+        self.link_plan = plan;
         self
     }
 
@@ -144,15 +162,27 @@ impl<M: Message> Topology<M> {
         out
     }
 
-    /// Connects `from` to `to` with a grouping. `to` must be a bolt.
+    /// Connects `from` to `to` with a grouping and default
+    /// ([`Delivery::BestEffort`]) delivery. `to` must be a bolt.
     pub fn wire(&mut self, from: &str, to: &str, grouping: Grouping<M>) {
+        self.wire_with(from, to, grouping, Delivery::BestEffort);
+    }
+
+    /// Connects `from` to `to` with a grouping and explicit delivery
+    /// semantics. `to` must be a bolt.
+    pub fn wire_with(&mut self, from: &str, to: &str, grouping: Grouping<M>, delivery: Delivery) {
         let from = self.index_of(from);
         let to = self.index_of(to);
         assert!(
             matches!(self.components[to].kind, Kind::Bolt(_)),
             "cannot wire into a spout"
         );
-        self.wires.push(WireDef { from, to, grouping });
+        self.wires.push(WireDef {
+            from,
+            to,
+            grouping,
+            delivery,
+        });
     }
 
     fn validate(&self) {
@@ -208,6 +238,33 @@ impl<M: Message> Topology<M> {
                 comp.parallelism
             );
         }
+        // Link-fault plans must target existing wires, for the same reason;
+        // and a reliable wire that drops everything would retry forever.
+        for spec in self.link_plan.specs() {
+            let targeted: Vec<&WireDef<M>> = self
+                .wires
+                .iter()
+                .filter(|w| {
+                    self.components[w.from].name == spec.from
+                        && self.components[w.to].name == spec.to
+                })
+                .collect();
+            assert!(
+                !targeted.is_empty(),
+                "link fault plan targets nonexistent wire '{}' -> '{}'",
+                spec.from,
+                spec.to
+            );
+            for w in targeted {
+                assert!(
+                    !w.delivery.is_reliable() || spec.fault.drop_rate < 1.0,
+                    "wire '{}' -> '{}' is AtLeastOnce but drops every transmission; \
+                     retries could never succeed",
+                    spec.from,
+                    spec.to
+                );
+            }
+        }
     }
 
     /// Executes the topology to completion and returns the run report.
@@ -246,16 +303,41 @@ impl<M: Message> Topology<M> {
             })
             .collect();
 
+        // Component names, cloned so the outbox builder doesn't borrow
+        // `self.components` (which is consumed when tasks spawn).
+        let names: Vec<String> = self.components.iter().map(|c| c.name.clone()).collect();
+
         let build_outbox = |comp: usize, task: usize| -> Outbox<M> {
             let wires = self
                 .wires
                 .iter()
-                .filter(|w| w.from == comp)
-                .map(|w| OutWire {
-                    grouping: w.grouping.clone(),
-                    senders: senders[w.to].clone(),
-                    // Stagger round-robin start by task to avoid lockstep.
-                    rr_next: task,
+                .enumerate()
+                .filter(|(_, w)| w.from == comp)
+                .map(|(wire_index, w)| {
+                    let from_name = &names[w.from];
+                    let to_name = &names[w.to];
+                    let chaos = self
+                        .link_plan
+                        .dice_for(from_name, to_name, wire_index, task)
+                        .map(Chaos::new);
+                    let reliable = match w.delivery {
+                        Delivery::BestEffort => None,
+                        Delivery::AtLeastOnce(retry) => {
+                            Some(ReliableTx::new(retry, senders[w.to].len()))
+                        }
+                    };
+                    OutWire {
+                        grouping: w.grouping.clone(),
+                        senders: senders[w.to].clone(),
+                        // Stagger round-robin start by task to avoid
+                        // lockstep.
+                        rr_next: task,
+                        // Unique per (wire, sender task): receivers key
+                        // their sequence state on it.
+                        link: ((wire_index as u64) << 32) | task as u64,
+                        chaos,
+                        reliable,
+                    }
                 })
                 .collect();
             Outbox {
@@ -416,67 +498,32 @@ fn run_bolt<M: Message>(
         }
     };
 
+    // Per-link reliable-receive state (sequence cursor + reorder buffer),
+    // keyed by the sender's link identity. It lives in the receive loop,
+    // not the bolt instance, so dedup survives bolt crashes and restarts.
+    let mut links: HashMap<u64, ReliableRx<M>> = HashMap::new();
+    // Tuples released for processing by the current envelope: one for a
+    // plain Data envelope, zero or more (in sequence order) for a Seq one.
+    let mut deliverable: Vec<(M, Instant)> = Vec::new();
+
     while let Ok(envelope) = rx.recv() {
         match envelope {
-            Envelope::Data(msg, sent_at) => {
-                outbox.metrics.queue_wait.record(sent_at.elapsed());
-                outbox.metrics.msgs_in += 1;
-                outbox.metrics.bytes_in += msg.wire_bytes();
-                // Injected crash boundary: the instance dies having fully
-                // processed `processed` tuples, and a fresh instance —
-                // which sees none of the old one's in-memory state — takes
-                // over with this tuple, delivered exactly once.
-                while bolt.is_some() && next_fault.next_if_eq(&processed).is_some() {
-                    failures.push(format!(
-                        "injected fault: task crashed after {processed} tuples"
-                    ));
-                    match build_bolt(factory, task) {
-                        Ok(b) => {
-                            bolt = Some(b);
-                            restarts += 1;
-                        }
-                        Err(msg) => {
-                            failures.push(msg);
-                            bolt = None;
-                        }
-                    }
-                }
-                let Some(instance) = bolt.as_deref_mut() else {
-                    // A dead bolt keeps draining its queue so upstream
-                    // senders never block on a dead consumer; tuples are
-                    // discarded.
-                    continue;
-                };
-                let t0 = Instant::now();
-                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    instance.execute(msg, outbox)
-                }));
-                outbox.metrics.busy += t0.elapsed();
-                match r {
-                    Ok(()) => processed += 1,
-                    Err(panic) => {
-                        failures.push(panic_message(panic));
-                        // An organic panic consumes its tuple: redelivering
-                        // it to the fresh instance would just crash it
-                        // again. The crashed instance counts as having
-                        // processed it for fault-point bookkeeping.
-                        processed += 1;
-                        if organic_restarts_left > 0 {
-                            organic_restarts_left -= 1;
-                            match build_bolt(factory, task) {
-                                Ok(b) => {
-                                    bolt = Some(b);
-                                    restarts += 1;
-                                }
-                                Err(msg) => {
-                                    failures.push(msg);
-                                    bolt = None;
-                                }
-                            }
-                        } else {
-                            bolt = None;
-                        }
-                    }
+            Envelope::Data(msg, sent_at) => deliverable.push((msg, sent_at)),
+            Envelope::Seq {
+                msg,
+                sent_at,
+                link,
+                seq,
+                ack,
+            } => {
+                // Acknowledge every receipt (duplicates included): the
+                // sender may have retransmitted before the first ack
+                // drained, and acks for already-settled sequence numbers
+                // are simply ignored there.
+                let _ = ack.send(Ack { dest: task, seq });
+                let state = links.entry(link).or_default();
+                if state.accept(seq, msg, sent_at, &mut deliverable) {
+                    outbox.metrics.dup_drops += 1;
                 }
             }
             Envelope::Eos => {
@@ -492,6 +539,70 @@ fn run_bolt<M: Message>(
                     }
                     outbox.send_eos();
                     break;
+                }
+            }
+        }
+        for (msg, sent_at) in deliverable.drain(..) {
+            outbox.metrics.queue_wait.record(sent_at.elapsed());
+            outbox.metrics.msgs_in += 1;
+            outbox.metrics.bytes_in += msg.wire_bytes();
+            // Injected crash boundary: the instance dies having fully
+            // processed `processed` tuples, and a fresh instance —
+            // which sees none of the old one's in-memory state — takes
+            // over with this tuple, delivered exactly once.
+            while bolt.is_some() && next_fault.next_if_eq(&processed).is_some() {
+                failures.push(format!(
+                    "injected fault: task crashed after {processed} tuples"
+                ));
+                match build_bolt(factory, task) {
+                    Ok(b) => {
+                        bolt = Some(b);
+                        restarts += 1;
+                    }
+                    Err(msg) => {
+                        failures.push(msg);
+                        bolt = None;
+                    }
+                }
+            }
+            let Some(instance) = bolt.as_deref_mut() else {
+                // A dead bolt keeps draining its queue so upstream
+                // senders never block on a dead consumer; tuples are
+                // discarded.
+                continue;
+            };
+            let t0 = Instant::now();
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                instance.execute(msg, outbox)
+            }));
+            outbox.metrics.busy += t0.elapsed();
+            match r {
+                Ok(()) => processed += 1,
+                Err(panic) => {
+                    failures.push(panic_message(panic));
+                    // An organic panic consumes its tuple: redelivering
+                    // it to the fresh instance would just crash it
+                    // again. The crashed instance counts as having
+                    // processed it for fault-point bookkeeping — and is
+                    // counted as a poisoned drop so the loss is never
+                    // silent.
+                    processed += 1;
+                    outbox.metrics.dropped_poisoned += 1;
+                    if organic_restarts_left > 0 {
+                        organic_restarts_left -= 1;
+                        match build_bolt(factory, task) {
+                            Ok(b) => {
+                                bolt = Some(b);
+                                restarts += 1;
+                            }
+                            Err(msg) => {
+                                failures.push(msg);
+                                bolt = None;
+                            }
+                        }
+                    } else {
+                        bolt = None;
+                    }
                 }
             }
         }
@@ -944,6 +1055,257 @@ mod tests {
             // tuple entering a stage leaves it.
             assert_eq!(sink.msgs_in, 300);
         }
+    }
+
+    use crate::delivery::{Delivery, RetryConfig};
+    use crate::link::{LinkFault, LinkFaultPlan};
+    use std::time::Duration;
+
+    /// A fast retry config so chaos tests don't sleep through default
+    /// timeouts.
+    fn fast_retry() -> RetryConfig {
+        RetryConfig {
+            base_timeout: Duration::from_micros(300),
+            backoff_factor: 2,
+            max_timeout: Duration::from_millis(8),
+        }
+    }
+
+    /// src → relay → sink with the relay→sink wire under test.
+    fn relay_topology(n: u64, delivery: Delivery, plan: LinkFaultPlan) -> (Vec<u64>, RunReport) {
+        let mut t = Topology::new().with_link_faults(plan);
+        t.spout("src", (0..n).map(N));
+        t.bolt("relay", 1, |_| AddOne);
+        let out = t.collector("sink");
+        t.wire("src", "relay", Grouping::global());
+        t.wire_with("relay", "sink", Grouping::global(), delivery);
+        let report = t.run();
+        let values: Vec<u64> = out.lock().iter().map(|n| n.0).collect();
+        (values, report)
+    }
+
+    #[test]
+    fn best_effort_link_faults_are_observable_and_accounted() {
+        // Pure drops on a best-effort wire: at-most-once, every loss
+        // accounted by the link_dropped counter.
+        let fault = LinkFault {
+            drop_rate: 0.3,
+            dup_rate: 0.0,
+            delay_rate: 0.0,
+            max_delay: 1,
+        };
+        let plan = LinkFaultPlan::new(11).lossy("relay", "sink", fault);
+        let (values, report) = relay_topology(300, Delivery::BestEffort, plan);
+        let (dropped, _, _) = report.link_faults();
+        assert!(dropped > 0, "a 30% drop rate must fire on 300 tuples");
+        assert_eq!(values.len() as u64 + dropped, 300);
+    }
+
+    #[test]
+    fn best_effort_duplication_double_delivers() {
+        let fault = LinkFault {
+            drop_rate: 0.0,
+            dup_rate: 0.3,
+            delay_rate: 0.0,
+            max_delay: 1,
+        };
+        let plan = LinkFaultPlan::new(5).lossy("relay", "sink", fault);
+        let (values, report) = relay_topology(300, Delivery::BestEffort, plan);
+        let (_, duped, _) = report.link_faults();
+        assert!(duped > 0);
+        assert_eq!(values.len() as u64, 300 + duped);
+    }
+
+    #[test]
+    fn best_effort_delay_reorders_within_bound() {
+        let fault = LinkFault {
+            drop_rate: 0.0,
+            dup_rate: 0.0,
+            delay_rate: 0.4,
+            max_delay: 4,
+        };
+        let plan = LinkFaultPlan::new(9).lossy("relay", "sink", fault);
+        let (values, report) = relay_topology(300, Delivery::BestEffort, plan);
+        let (_, _, delayed) = report.link_faults();
+        assert!(delayed > 0);
+        // Nothing lost, everything displaced by at most max_delay.
+        assert_eq!(values.len(), 300);
+        for (pos, &v) in values.iter().enumerate() {
+            let emitted = (v - 1) as i64; // AddOne offset
+            assert!(
+                (pos as i64 - emitted).abs() <= 4,
+                "value {v} displaced from {emitted} to {pos}"
+            );
+        }
+    }
+
+    #[test]
+    fn at_least_once_masks_chaos_for_100_seeds() {
+        // The acceptance bar: over ≥100 seeds, a seeded LinkFaultPlan on an
+        // AtLeastOnce wire yields output identical to the fault-free run —
+        // not just as a multiset: the single-sender FIFO order survives
+        // too.
+        let n = 60u64;
+        let expect: Vec<u64> = (1..=n).collect();
+        for seed in 0..100 {
+            let plan = LinkFaultPlan::new(seed).lossy("relay", "sink", LinkFault::seeded(seed));
+            let (values, report) = relay_topology(n, Delivery::AtLeastOnce(fast_retry()), plan);
+            assert_eq!(values, expect, "seed {seed} corrupted the stream");
+            assert!(report.is_clean());
+        }
+    }
+
+    #[test]
+    fn reliable_wire_counts_retries_and_dup_drops() {
+        // Heavy chaos: drops force retries, dups force receiver dedup.
+        let fault = LinkFault {
+            drop_rate: 0.35,
+            dup_rate: 0.35,
+            delay_rate: 0.2,
+            max_delay: 3,
+        };
+        let plan = LinkFaultPlan::new(21).lossy("relay", "sink", fault);
+        let (values, report) = relay_topology(200, Delivery::AtLeastOnce(fast_retry()), plan);
+        assert_eq!(values, (1..=200u64).collect::<Vec<_>>());
+        assert!(report.total_retries() > 0, "drops must trigger retries");
+        assert!(report.total_dup_drops() > 0, "dups must be deduped");
+        assert!(report.max_backoff() >= fast_retry().base_timeout);
+        // Receiver-side msgs_in counts only delivered tuples, so wire
+        // accounting still reconciles exactly.
+        assert_eq!(report.component("sink").msgs_in, 200);
+        assert_eq!(report.component("relay").msgs_out, 200);
+    }
+
+    #[test]
+    fn at_least_once_composes_with_injected_crashes() {
+        // A task crash mid-stream and a lossy reliable input wire at the
+        // same time: restart redelivery plus link-level retry/dedup must
+        // still produce the exact stream.
+        let plan = LinkFaultPlan::new(3).lossy("relay", "sink", LinkFault::seeded(3));
+        let mut t = Topology::new()
+            .with_link_faults(plan)
+            .with_fault_plan(crate::FaultPlan::new().crash("sink", 0, 25));
+        t.spout("src", (0..80u64).map(N));
+        t.bolt("relay", 1, |_| AddOne);
+        let out = t.collector("sink");
+        t.wire("src", "relay", Grouping::global());
+        t.wire_with(
+            "relay",
+            "sink",
+            Grouping::global(),
+            Delivery::AtLeastOnce(fast_retry()),
+        );
+        let report = t.run();
+        let values: Vec<u64> = out.lock().iter().map(|n| n.0).collect();
+        assert_eq!(values, (1..=80u64).collect::<Vec<_>>());
+        assert_eq!(report.total_restarts(), 1);
+    }
+
+    #[test]
+    fn reliable_multi_task_wire_is_exact_per_destination() {
+        // Direct routing from one sender to 3 destinations over a lossy
+        // reliable wire: per-(link, dest) sequence numbers must keep every
+        // destination's stream exact and in order.
+        struct Route;
+        impl Bolt<N> for Route {
+            fn execute(&mut self, msg: N, out: &mut Outbox<N>) {
+                let target = (msg.0 % 3) as usize;
+                out.emit_direct(target, msg);
+            }
+        }
+        struct Tag;
+        impl Bolt<N> for Tag {
+            fn execute(&mut self, msg: N, out: &mut Outbox<N>) {
+                out.emit(N(msg.0 * 100 + out.task_index() as u64));
+            }
+        }
+        let plan = LinkFaultPlan::new(17).lossy("route", "worker", LinkFault::seeded(17));
+        let mut t = Topology::new().with_link_faults(plan);
+        t.spout("src", (0..90u64).map(N));
+        t.bolt("route", 1, |_| Route);
+        t.bolt("worker", 3, |_| Tag);
+        let out = t.collector("sink");
+        t.wire("src", "route", Grouping::global());
+        t.wire_with(
+            "route",
+            "worker",
+            Grouping::direct(),
+            Delivery::AtLeastOnce(fast_retry()),
+        );
+        t.wire("worker", "sink", Grouping::global());
+        t.run();
+        let mut seen: Vec<u64> = out.lock().iter().map(|n| n.0 / 100).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..90u64).collect::<Vec<_>>());
+        for n in out.lock().iter() {
+            assert_eq!(n.0 % 100, (n.0 / 100) % 3, "routed to the wrong task");
+        }
+    }
+
+    #[test]
+    fn poisoned_tuple_drop_is_counted() {
+        // Satellite regression: the tuple consumed by an organic panic is
+        // no longer a silent loss — dropped_poisoned traces it.
+        let mut t = Topology::new().with_supervised_restarts(1);
+        t.spout("src", (0..50u64).map(N));
+        t.bolt("mine", 1, |_| Minefield);
+        let out = t.collector("sink");
+        t.wire("src", "mine", Grouping::global());
+        t.wire("mine", "sink", Grouping::global());
+        let report = t.run();
+        assert_eq!(out.lock().len(), 49);
+        assert_eq!(report.dropped_poisoned(), 1);
+        assert_eq!(report.component("mine").dropped_poisoned, 1);
+        // The accounting closes the loop: in + poisoned drops == out for a
+        // 1:1 bolt.
+        let mine = report.component("mine");
+        assert_eq!(mine.msgs_in, mine.msgs_out + mine.dropped_poisoned);
+    }
+
+    #[test]
+    fn poisoned_drops_counted_even_without_restart_budget() {
+        let mut t = Topology::new(); // budget 0: task dies on first panic
+        t.spout("src", (0..50u64).map(N));
+        t.bolt("mine", 1, |_| Minefield);
+        let out = t.collector("sink");
+        t.wire("src", "mine", Grouping::global());
+        t.wire("mine", "sink", Grouping::global());
+        let report = t.run();
+        drop(out);
+        assert_eq!(report.dropped_poisoned(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonexistent wire")]
+    fn link_plan_targeting_unknown_wire_rejected() {
+        let mut t = Topology::new();
+        t.spout("src", (0..5u64).map(N));
+        let _out = t.collector("sink");
+        t.wire("src", "sink", Grouping::global());
+        t.with_link_faults(LinkFaultPlan::new(0).lossy("sink", "src", LinkFault::seeded(0)))
+            .run();
+    }
+
+    #[test]
+    #[should_panic(expected = "retries could never succeed")]
+    fn reliable_wire_dropping_everything_rejected() {
+        let fault = LinkFault {
+            drop_rate: 1.0,
+            dup_rate: 0.0,
+            delay_rate: 0.0,
+            max_delay: 1,
+        };
+        let mut t = Topology::new();
+        t.spout("src", (0..5u64).map(N));
+        let _out = t.collector("sink");
+        t.wire_with(
+            "src",
+            "sink",
+            Grouping::global(),
+            Delivery::AtLeastOnce(RetryConfig::default()),
+        );
+        t.with_link_faults(LinkFaultPlan::new(0).lossy("src", "sink", fault))
+            .run();
     }
 
     #[test]

@@ -44,6 +44,9 @@ fn main() {
             channel_capacity: 1024,
             source_rate: None,
             fault: None,
+            chaos_seed: None,
+            shed_watermark: None,
+            replay_buffer_cap: None,
         };
         let out = run_distributed(&records, &cfg);
         println!(

@@ -76,6 +76,9 @@ fn bistream_window_and_prefix_strategy() {
         channel_capacity: 64,
         source_rate: None,
         fault: None,
+        chaos_seed: None,
+        shed_watermark: None,
+        replay_buffer_cap: None,
     };
     let out = run_bistream_distributed(&left, &right, &cfg);
     let mut got: Vec<_> = out.pairs.iter().map(|m| m.key()).collect();

@@ -67,6 +67,9 @@ fn text_pipeline_to_distributed_join() {
             channel_capacity: 128,
             source_rate: None,
             fault: None,
+            chaos_seed: None,
+            shed_watermark: None,
+            replay_buffer_cap: None,
         };
         let out = run_distributed(&records, &cfg);
         let mut got: Vec<_> = out.pairs.iter().map(|m| m.key()).collect();

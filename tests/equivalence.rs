@@ -138,6 +138,9 @@ proptest! {
             channel_capacity: 64,
             source_rate: None,
             fault: None,
+            chaos_seed: None,
+            shed_watermark: None,
+            replay_buffer_cap: None,
         };
         let out = run_distributed(&records, &cfg);
         prop_assert_eq!(sorted_keys(&out.pairs), expect);
@@ -180,6 +183,9 @@ proptest! {
             channel_capacity: 64,
             source_rate: None,
             fault: None,
+            chaos_seed: None,
+            shed_watermark: None,
+            replay_buffer_cap: None,
         };
         let out = run_bistream_distributed(&left, &right, &cfg);
         prop_assert_eq!(sorted_keys(&out.pairs), expect);

@@ -3,6 +3,10 @@
 //! windows and (seeded, deterministic) fault points, the post-recovery
 //! result multiset must equal the naive no-fault ground truth — no lost
 //! pairs, no duplicated pairs — for every `Strategy` × `LocalAlgo`.
+//!
+//! The chaos composition test additionally wraps every wire in seeded
+//! link faults (drops, duplicates, bounded reordering via delay) masked
+//! by at-least-once delivery, on top of the injected crashes.
 
 use dssj::core::join::run_stream;
 use dssj::core::{JoinConfig, NaiveJoiner, Threshold, Window};
@@ -108,6 +112,9 @@ proptest! {
                     channel_capacity: 64,
                     source_rate: None,
                     fault: Some(FaultPlan::new().crash_seeded("joiner", k, 150, fault_seed)),
+                    chaos_seed: None,
+                    shed_watermark: None,
+                    replay_buffer_cap: None,
                 };
                 let out = run_distributed(&records, &cfg);
                 let got = sorted_keys(&out.pairs);
@@ -161,6 +168,9 @@ proptest! {
             channel_capacity: 64,
             source_rate: None,
             fault: Some(plan),
+            chaos_seed: None,
+            shed_watermark: None,
+            replay_buffer_cap: None,
         };
         let out = run_distributed(&records, &cfg);
         prop_assert_eq!(
@@ -168,5 +178,62 @@ proptest! {
             "strategy={} local={} restarts={}",
             strategy.name(), local.name(), out.report.total_restarts()
         );
+    }
+
+    /// Full chaos composition: every wire drops/duplicates/delays under a
+    /// seeded `LinkFaultPlan` (masked by at-least-once delivery) while a
+    /// seeded joiner crash also fires — the result multiset must still
+    /// equal the fault-free naive ground truth for every strategy, across
+    /// local algorithms and window kinds.
+    #[test]
+    fn link_faults_and_crashes_compose_to_exact_results(
+        profile in profile_strategy(),
+        seed in 0u64..10_000,
+        tau in 0.55f64..0.9,
+        k in 2usize..5,
+        window_kind in 0usize..3,
+        fault_seed in 0u64..1_000_000,
+        chaos_seed in 0u64..1_000_000,
+        local_idx in 0usize..5,
+    ) {
+        let records = StreamGenerator::new(profile, seed).take_records(150);
+        let window = match window_kind {
+            0 => Window::Unbounded,
+            1 => Window::Count(60),
+            _ => Window::TimeMs(40),
+        };
+        let join = JoinConfig { threshold: Threshold::jaccard(tau), window };
+        let mut naive = NaiveJoiner::new(join);
+        let expect = sorted_keys(&run_stream(&mut naive, &records));
+        let local = LOCALS[local_idx];
+
+        for strategy in strategies() {
+            let cfg = DistributedJoinConfig {
+                k,
+                join,
+                local,
+                strategy: strategy.clone(),
+                channel_capacity: 64,
+                source_rate: None,
+                fault: Some(FaultPlan::new().crash_seeded("joiner", k, 120, fault_seed)),
+                chaos_seed: Some(chaos_seed),
+                shed_watermark: None,
+                replay_buffer_cap: None,
+            };
+            let out = run_distributed(&records, &cfg);
+            let got = sorted_keys(&out.pairs);
+            prop_assert_eq!(
+                got.windows(2).filter(|w| w[0] == w[1]).count(),
+                0,
+                "duplicate pairs under chaos: strategy={} local={} retries={}",
+                strategy.name(), local.name(), out.report.total_retries()
+            );
+            prop_assert_eq!(
+                &got, &expect,
+                "lost or spurious pairs under chaos: strategy={} local={} restarts={} retries={} dup_drops={}",
+                strategy.name(), local.name(), out.report.total_restarts(),
+                out.report.total_retries(), out.report.total_dup_drops()
+            );
+        }
     }
 }

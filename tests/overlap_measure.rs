@@ -87,6 +87,9 @@ fn distributed_overlap_equals_naive_under_every_strategy() {
             channel_capacity: 64,
             source_rate: None,
             fault: None,
+            chaos_seed: None,
+            shed_watermark: None,
+            replay_buffer_cap: None,
         };
         let out = run_distributed(&records, &dc);
         let mut got: Vec<_> = out.pairs.iter().map(|m| m.key()).collect();

