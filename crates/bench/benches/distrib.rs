@@ -4,7 +4,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use ssj_core::{JoinConfig, Threshold};
 use ssj_distrib::{
     run_distributed, BroadcastRouter, DistributedJoinConfig, LengthRouter, LocalAlgo,
-    PartitionMethod, PrefixRouter, Router, Strategy,
+    PartitionMethod, PrefixRouter, Router, Scheduler, Strategy,
 };
 use ssj_partition::{CostModel, LengthHistogram};
 use ssj_workloads::{DatasetProfile, StreamGenerator};
@@ -81,6 +81,7 @@ fn bench_end_to_end(c: &mut Criterion) {
                     chaos_seed: None,
                     shed_watermark: None,
                     replay_buffer_cap: None,
+                    scheduler: Scheduler::Threads,
                 };
                 black_box(run_distributed(black_box(&records), &cfg).pairs.len())
             })

@@ -11,7 +11,9 @@ use ssj_core::{
     join::run_stream, AllPairsJoiner, BundleJoiner, JoinConfig, NaiveJoiner, PpJoinJoiner,
     StreamJoiner, Threshold, Window,
 };
-use ssj_distrib::{run_distributed, DistributedJoinConfig, LocalAlgo, PartitionMethod, Strategy};
+use ssj_distrib::{
+    run_distributed, DistributedJoinConfig, LocalAlgo, PartitionMethod, Scheduler, Strategy,
+};
 use ssj_partition::{
     equal_depth, equal_width, imbalance, load_aware, load_aware_greedy, CostModel, EpochConfig,
     LengthHistogram,
@@ -47,6 +49,7 @@ fn dist_cfg(
         chaos_seed: None,
         shed_watermark: None,
         replay_buffer_cap: None,
+        scheduler: Scheduler::Threads,
     }
 }
 

@@ -4,7 +4,7 @@ use crate::args::{ArgError, Args};
 use ssj_core::{JoinConfig, Threshold, Window};
 use ssj_distrib::{
     run_bistream_distributed, run_distributed, DistributedJoinConfig, LocalAlgo, PartitionMethod,
-    Strategy,
+    Scheduler, Strategy,
 };
 use ssj_partition::{imbalance, load_aware, CostModel, LengthHistogram};
 use ssj_text::{load_lines, Corpus, QGramTokenizer, Record, WordTokenizer};
@@ -101,6 +101,7 @@ fn dist_config(args: &Args, join: JoinConfig) -> Result<DistributedJoinConfig, A
         // Degraded mode: shed whole records above this queue depth.
         shed_watermark: parse_opt(args, "shed-watermark")?,
         replay_buffer_cap: None,
+        scheduler: Scheduler::Threads,
     })
 }
 

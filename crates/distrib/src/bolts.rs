@@ -9,7 +9,6 @@ use ssj_core::window::EvictionQueue;
 use ssj_core::{JoinStats, MatchPair, StreamJoiner, Threshold, Window};
 use ssj_text::{FxHashMap, Record, RecordId, TokenId};
 use std::sync::Arc;
-use std::time::Instant;
 use stormlite::{Bolt, LatencyHistogram, Outbox};
 
 /// Routes each arriving record to its index/probe joiners. One task.
@@ -66,10 +65,11 @@ impl<R: Router> Bolt<JoinMsg> for DispatcherBolt<R> {
         let incoming = msg.payload().expect("dispatcher receives record messages");
         // Latency is measured from the moment the dispatcher makes the
         // routing decision (the paper measures processing latency, not
-        // source queueing).
+        // source queueing). The stamp reads the topology clock, so
+        // simulated runs measure virtual time.
         let payload = RecordMsg {
             record: incoming.record.clone(),
-            ingest: Instant::now(),
+            ingest: out.now(),
             side: incoming.side,
         };
         let decision = self.router.route(&payload.record);
@@ -452,12 +452,15 @@ impl SinkBolt {
 }
 
 impl Bolt<JoinMsg> for SinkBolt {
-    fn execute(&mut self, msg: JoinMsg, _out: &mut Outbox<JoinMsg>) {
+    fn execute(&mut self, msg: JoinMsg, out: &mut Outbox<JoinMsg>) {
         match msg {
             JoinMsg::Result { pair, ingest } => {
+                // Dispatch-to-result latency on the topology clock:
+                // wall time in threaded runs, virtual time in simulation.
+                let latency = out.now().saturating_since(ingest);
                 let mut s = self.state.lock();
                 s.pairs.push(pair);
-                s.latency.record(ingest.elapsed());
+                s.latency.record(latency);
             }
             _ => unreachable!("sink only receives results"),
         }

@@ -17,10 +17,10 @@ use ssj_partition::{
 };
 use ssj_text::Record;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 use stormlite::{
     Delivery, FaultPlan, Grouping, LatencyHistogram, LinkFault, LinkFaultPlan, RetryConfig,
-    RunReport, Topology,
+    RunReport, Scheduler, SimConfig, Timestamp, Topology,
 };
 
 /// Which local join algorithm each joiner runs.
@@ -200,6 +200,13 @@ pub struct DistributedJoinConfig {
     /// together with `fault`; `None` leaves the buffer bounded by window
     /// expiry alone.
     pub replay_buffer_cap: Option<usize>,
+    /// How the topology executes: [`Scheduler::Threads`] (the default) runs
+    /// one OS thread per task; [`Scheduler::Sim`] runs the whole topology
+    /// single-threaded under a virtual clock with a seeded interleaving, so
+    /// the same seed replays the exact same run (see [`stormlite::sim`]).
+    /// Simulated runs report virtual-time latencies and are incompatible
+    /// with `source_rate` (pacing sleeps on the wall clock).
+    pub scheduler: Scheduler,
 }
 
 impl DistributedJoinConfig {
@@ -220,6 +227,7 @@ impl DistributedJoinConfig {
             chaos_seed: None,
             shed_watermark: None,
             replay_buffer_cap: None,
+            scheduler: Scheduler::Threads,
         }
     }
 
@@ -247,6 +255,13 @@ impl DistributedJoinConfig {
     /// [`Self::replay_buffer_cap`]).
     pub fn with_replay_buffer_cap(mut self, cap: usize) -> Self {
         self.replay_buffer_cap = Some(cap);
+        self
+    }
+
+    /// Runs the topology under deterministic simulation with the given
+    /// interleaving seed (see [`Self::scheduler`]).
+    pub fn with_sim(mut self, seed: u64) -> Self {
+        self.scheduler = Scheduler::Sim(SimConfig::seeded(seed));
         self
     }
 }
@@ -347,9 +362,13 @@ impl DistributedJoinResult {
 /// Runs `records` through the configured distributed self-join and returns
 /// the exact result set plus all measurements.
 pub fn run_distributed(records: &[Record], cfg: &DistributedJoinConfig) -> DistributedJoinResult {
+    // The source stamp is a placeholder: the dispatcher re-stamps every
+    // record with the topology clock when it first sees it, so latency
+    // measures dispatch-to-result on whichever clock (wall or virtual)
+    // the scheduler runs.
     let source: Vec<JoinMsg> = records
         .iter()
-        .map(|r| JoinMsg::ProbeAndIndex(RecordMsg::solo(r.clone(), Instant::now())))
+        .map(|r| JoinMsg::ProbeAndIndex(RecordMsg::solo(r.clone(), Timestamp::ZERO)))
         .collect();
     run_internal(source, records, false, cfg)
 }
@@ -371,7 +390,7 @@ pub fn run_bistream_distributed(
         .map(|(side, record)| {
             JoinMsg::ProbeAndIndex(RecordMsg {
                 record,
-                ingest: Instant::now(),
+                ingest: Timestamp::ZERO,
                 side: Some(side),
             })
         })
@@ -386,6 +405,10 @@ fn run_internal(
     cfg: &DistributedJoinConfig,
 ) -> DistributedJoinResult {
     assert!(cfg.k >= 1, "need at least one joiner");
+    assert!(
+        !(matches!(cfg.scheduler, Scheduler::Sim(_)) && cfg.source_rate.is_some()),
+        "source_rate paces on the wall clock and cannot run under simulation"
+    );
     let threshold = cfg.join.threshold;
     let window = cfg.join.window;
     let n_records = source.len();
@@ -514,7 +537,7 @@ fn run_internal(
         }
     }
 
-    let report = topology.run();
+    let report = topology.run_with(cfg.scheduler);
     let wall = report.elapsed;
 
     let mut sink = sink_state.lock();
@@ -591,6 +614,7 @@ mod tests {
                 chaos_seed: None,
                 shed_watermark: None,
                 replay_buffer_cap: None,
+                scheduler: Scheduler::Threads,
             };
             assert_eq!(run_keys(&records, &cfg), expect, "local={}", local.name());
         }
@@ -612,6 +636,7 @@ mod tests {
             chaos_seed: None,
             shed_watermark: None,
             replay_buffer_cap: None,
+            scheduler: Scheduler::Threads,
         };
         assert_eq!(run_keys(&records, &cfg), expect);
     }
@@ -632,6 +657,7 @@ mod tests {
             chaos_seed: None,
             shed_watermark: None,
             replay_buffer_cap: None,
+            scheduler: Scheduler::Threads,
         };
         assert_eq!(run_keys(&records, &cfg), expect);
     }
@@ -662,6 +688,7 @@ mod tests {
                 chaos_seed: None,
                 shed_watermark: None,
                 replay_buffer_cap: None,
+                scheduler: Scheduler::Threads,
             };
             assert_eq!(run_keys(&records, &cfg), expect);
         }
@@ -699,6 +726,7 @@ mod tests {
             chaos_seed: None,
             shed_watermark: None,
             replay_buffer_cap: None,
+            scheduler: Scheduler::Threads,
         };
         assert_eq!(run_keys(&records, &cfg), expect);
     }
@@ -720,6 +748,7 @@ mod tests {
             chaos_seed: None,
             shed_watermark: None,
             replay_buffer_cap: None,
+            scheduler: Scheduler::Threads,
         };
         let result = run_distributed(&records, &cfg);
         assert!((result.replication() - 1.0).abs() < 1e-9);
@@ -745,6 +774,7 @@ mod tests {
             chaos_seed: None,
             shed_watermark: None,
             replay_buffer_cap: None,
+            scheduler: Scheduler::Threads,
         };
         let length = run_distributed(
             &records,
@@ -777,6 +807,7 @@ mod tests {
             chaos_seed: None,
             shed_watermark: None,
             replay_buffer_cap: None,
+            scheduler: Scheduler::Threads,
         };
         assert_eq!(run_keys(&records, &cfg), expect);
     }
@@ -843,6 +874,7 @@ mod tests {
                 chaos_seed: None,
                 shed_watermark: None,
                 replay_buffer_cap: None,
+                scheduler: Scheduler::Threads,
             };
             let out = run_bistream_distributed(&left, &right, &cfg);
             let mut got: Vec<_> = out.pairs.iter().map(|m| m.key()).collect();
@@ -873,6 +905,7 @@ mod tests {
             chaos_seed: None,
             shed_watermark: None,
             replay_buffer_cap: None,
+            scheduler: Scheduler::Threads,
         };
         let out = run_bistream_distributed(&left, &right, &cfg);
         let mut got: Vec<_> = out.pairs.iter().map(|m| m.key()).collect();
@@ -909,6 +942,7 @@ mod tests {
                 chaos_seed: None,
                 shed_watermark: None,
                 replay_buffer_cap: None,
+                scheduler: Scheduler::Threads,
             };
             let result = run_distributed(&records, &cfg);
             let mut keys: Vec<_> = result.pairs.iter().map(|m| m.key()).collect();
@@ -956,6 +990,7 @@ mod tests {
             chaos_seed: None,
             shed_watermark: None,
             replay_buffer_cap: None,
+            scheduler: Scheduler::Threads,
         };
         let result = run_distributed(&records, &cfg);
         assert_eq!(run_keys_of(&result), expect);
@@ -987,6 +1022,7 @@ mod tests {
             chaos_seed: None,
             shed_watermark: None,
             replay_buffer_cap: None,
+            scheduler: Scheduler::Threads,
         };
         let out = run_bistream_distributed(&left, &right, &cfg);
         assert_eq!(run_keys_of(&out), expect);
@@ -1073,6 +1109,7 @@ mod tests {
             chaos_seed: Some(99),
             shed_watermark: None,
             replay_buffer_cap: None,
+            scheduler: Scheduler::Threads,
         };
         let result = run_distributed(&records, &cfg);
         assert_eq!(run_keys_of(&result), expect);
@@ -1099,6 +1136,7 @@ mod tests {
             chaos_seed: None,
             shed_watermark: Some(4),
             replay_buffer_cap: None,
+            scheduler: Scheduler::Threads,
         };
         let result = run_distributed(&records, &cfg);
         assert!(
@@ -1142,6 +1180,7 @@ mod tests {
             chaos_seed: None,
             shed_watermark: None,
             replay_buffer_cap: Some(20),
+            scheduler: Scheduler::Threads,
         };
         let result = run_distributed(&records, &cfg);
         assert!(
@@ -1180,6 +1219,7 @@ mod tests {
             // Window::Count(100) keeps ≤ ~101 in-window entries per task;
             // a 400-entry cap is never the binding constraint.
             replay_buffer_cap: Some(400),
+            scheduler: Scheduler::Threads,
         };
         let result = run_distributed(&records, &cfg);
         assert_eq!(run_keys_of(&result), expect);

@@ -39,3 +39,6 @@ pub use msg::{JoinMsg, RecordMsg};
 pub use pace::PacedIter;
 pub use recovery::{RecoveryState, ReplayEntry};
 pub use route::{BroadcastRouter, LengthRouter, PrefixRouter, RouteDecision, Router};
+// Re-exported so callers configuring `DistributedJoinConfig::scheduler`
+// don't need a direct stormlite dependency.
+pub use stormlite::{Scheduler, SimConfig};

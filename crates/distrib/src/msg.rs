@@ -3,27 +3,27 @@
 use ssj_core::join::bistream::Side;
 use ssj_core::MatchPair;
 use ssj_text::Record;
-use std::time::Instant;
-use stormlite::Message;
+use stormlite::{Message, Timestamp};
 
 /// The payload of every record-bearing message.
 ///
-/// `ingest` stamps carry the dispatch instant through the pipeline so the
+/// `ingest` stamps carry the dispatch time (on the topology clock — real
+/// in threaded runs, virtual under simulation) through the pipeline so the
 /// sink can measure per-record processing latency. `side` is `None` for
 /// self-joins and tags the source stream for bi-stream (R–S) joins.
 #[derive(Debug, Clone)]
 pub struct RecordMsg {
     /// The record.
     pub record: Record,
-    /// When the dispatcher saw the record.
-    pub ingest: Instant,
+    /// When the dispatcher saw the record, on the topology clock.
+    pub ingest: Timestamp,
     /// Source stream for bi-stream joins (`None` = self-join).
     pub side: Option<Side>,
 }
 
 impl RecordMsg {
     /// A self-join payload.
-    pub fn solo(record: Record, ingest: Instant) -> Self {
+    pub fn solo(record: Record, ingest: Timestamp) -> Self {
         Self {
             record,
             ingest,
@@ -46,8 +46,8 @@ pub enum JoinMsg {
     Result {
         /// The matching pair.
         pair: MatchPair,
-        /// Dispatch instant of the probing record.
-        ingest: Instant,
+        /// Dispatch time of the probing record, on the topology clock.
+        ingest: Timestamp,
     },
 }
 
@@ -100,7 +100,7 @@ mod tests {
 
     #[test]
     fn wire_bytes_scale_with_tokens() {
-        let now = Instant::now();
+        let now = Timestamp::ZERO;
         let small = JoinMsg::Probe(RecordMsg::solo(rec(2), now));
         let large = JoinMsg::Index(RecordMsg::solo(rec(100), now));
         assert_eq!(small.wire_bytes(), 1 + 8 + 8 + 4 + 8);
@@ -111,7 +111,7 @@ mod tests {
     fn bi_stream_payloads_cost_a_side_byte() {
         let m = JoinMsg::Probe(RecordMsg {
             record: rec(2),
-            ingest: Instant::now(),
+            ingest: Timestamp::ZERO,
             side: Some(Side::Left),
         });
         assert_eq!(m.wire_bytes(), 1 + 8 + 8 + 4 + 8 + 1);
@@ -125,7 +125,7 @@ mod tests {
                 later: RecordId(1),
                 similarity: 0.9,
             },
-            ingest: Instant::now(),
+            ingest: Timestamp::ZERO,
         };
         assert_eq!(m.wire_bytes(), 25);
         assert!(m.record().is_none());
@@ -134,7 +134,7 @@ mod tests {
 
     #[test]
     fn record_accessor() {
-        let m = JoinMsg::ProbeAndIndex(RecordMsg::solo(rec(3), Instant::now()));
+        let m = JoinMsg::ProbeAndIndex(RecordMsg::solo(rec(3), Timestamp::ZERO));
         assert_eq!(m.record().unwrap().len(), 3);
         assert!(m.payload().unwrap().side.is_none());
     }

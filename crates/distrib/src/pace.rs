@@ -1,4 +1,10 @@
 //! Arrival-rate pacing for spout sources.
+//!
+//! Pacing spins on [`std::time::Instant`] — the *wall* clock — so it is
+//! incompatible with deterministic simulation, where time is virtual and
+//! only advances when the scheduler steps. The driver rejects
+//! `source_rate` under [`Scheduler::Sim`](stormlite::Scheduler::Sim) for
+//! exactly this reason.
 
 use std::time::{Duration, Instant};
 

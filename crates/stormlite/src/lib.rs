@@ -36,18 +36,22 @@
 
 #![warn(missing_docs)]
 
+pub mod clock;
 pub mod delivery;
 pub mod fault;
 pub mod grouping;
 pub mod link;
 pub mod message;
 pub mod metrics;
+pub mod sim;
 pub mod topology;
 
+pub use clock::{Clock, Timestamp};
 pub use delivery::{Delivery, RetryConfig};
 pub use fault::{FaultPlan, FaultSpec};
 pub use grouping::Grouping;
 pub use link::{LinkFault, LinkFaultPlan, LinkFaultSpec};
 pub use message::{Bolt, CollectorBolt, Message, Outbox};
 pub use metrics::{LatencyHistogram, RunReport, TaskMetrics};
+pub use sim::{Scheduler, SimConfig, SimRun, Transcript};
 pub use topology::Topology;

@@ -202,7 +202,7 @@ impl ChaosDice {
 }
 
 /// SplitMix64 finalizer (same mixing as `fault.rs`).
-fn mix(seed: u64) -> u64 {
+pub(crate) fn mix(seed: u64) -> u64 {
     let mut z = seed;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

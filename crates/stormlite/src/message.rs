@@ -1,14 +1,15 @@
 //! Messages, bolts and the emission context.
 
+use crate::clock::{Clock, Timestamp};
 use crate::delivery::RetryConfig;
 use crate::grouping::Grouping;
 use crate::link::{ChaosDice, LinkAction};
 use crate::metrics::TaskMetrics;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// A tuple payload flowing through a topology.
 ///
@@ -34,9 +35,9 @@ pub(crate) struct Ack {
 /// The envelope moving through channels: payload plus queueing metadata,
 /// or the end-of-stream marker.
 pub(crate) enum Envelope<M> {
-    /// A data tuple and the instant it was enqueued (for queue-wait
+    /// A data tuple and the run time it was enqueued (for queue-wait
     /// metrics). Best-effort wires only.
-    Data(M, Instant),
+    Data(M, Timestamp),
     /// A data tuple on a reliable wire: stamped with its link identity and
     /// per-destination sequence number, and carrying the handle the
     /// receiver acknowledges on. Retransmissions reuse the original
@@ -44,8 +45,8 @@ pub(crate) enum Envelope<M> {
     Seq {
         /// The payload.
         msg: M,
-        /// Original emission instant.
-        sent_at: Instant,
+        /// Original emission time.
+        sent_at: Timestamp,
         /// Identity of the (wire, sender task) link this flows on.
         link: u64,
         /// Dense per-(link, destination) sequence number.
@@ -104,8 +105,8 @@ impl<M: Message> Bolt<M> for CollectorBolt<M> {
 
 /// A transmittable unit: what the chaos layer and the retry loop re-send.
 enum Packet<M> {
-    Plain(M, Instant),
-    Seq(M, Instant, u64),
+    Plain(M, Timestamp),
+    Seq(M, Timestamp, u64),
 }
 
 impl<M: Clone> Clone for Packet<M> {
@@ -137,8 +138,8 @@ impl<M> Chaos<M> {
 /// One tuple awaiting acknowledgement on a reliable wire.
 struct Pending<M> {
     msg: M,
-    sent_at: Instant,
-    last_tx: Instant,
+    sent_at: Timestamp,
+    last_tx: Timestamp,
     retries: u32,
 }
 
@@ -146,10 +147,15 @@ struct Pending<M> {
 /// wire: per-destination sequence counters, the unacknowledged window, and
 /// the ack backchannel. The sender keeps its own `ack_tx` clone so the ack
 /// channel can never disconnect while tuples are in flight.
+///
+/// The unacknowledged window is an ordered map so the retransmit scan
+/// visits tuples in a deterministic (destination, sequence) order — a
+/// requirement for the simulation scheduler, whose transcripts must be
+/// byte-identical across runs of the same seed.
 pub(crate) struct ReliableTx<M> {
     retry: RetryConfig,
     next_seq: Vec<u64>,
-    unacked: HashMap<(usize, u64), Pending<M>>,
+    unacked: BTreeMap<(usize, u64), Pending<M>>,
     ack_tx: Sender<Ack>,
     ack_rx: Receiver<Ack>,
 }
@@ -160,7 +166,7 @@ impl<M> ReliableTx<M> {
         Self {
             retry,
             next_seq: vec![0; n_dests],
-            unacked: HashMap::new(),
+            unacked: BTreeMap::new(),
             ack_tx,
             ack_rx,
         }
@@ -173,7 +179,7 @@ impl<M> ReliableTx<M> {
 /// therefore composes with application-level replay.
 pub(crate) struct ReliableRx<M> {
     next: u64,
-    pending: BTreeMap<u64, (M, Instant)>,
+    pending: BTreeMap<u64, (M, Timestamp)>,
 }
 
 impl<M> Default for ReliableRx<M> {
@@ -193,8 +199,8 @@ impl<M> ReliableRx<M> {
         &mut self,
         seq: u64,
         msg: M,
-        sent_at: Instant,
-        deliverable: &mut Vec<(M, Instant)>,
+        sent_at: Timestamp,
+        deliverable: &mut Vec<(M, Timestamp)>,
     ) -> bool {
         if seq < self.next || self.pending.contains_key(&seq) {
             return true;
@@ -219,6 +225,9 @@ pub(crate) struct OutWire<M> {
     pub(crate) link: u64,
     pub(crate) chaos: Option<Chaos<M>>,
     pub(crate) reliable: Option<ReliableTx<M>>,
+    /// The run's time source; all retry deadlines and emission stamps read
+    /// it, so a virtual clock makes the whole wire simulation-steerable.
+    pub(crate) clock: Clock,
 }
 
 impl<M: Message> OutWire<M> {
@@ -232,12 +241,13 @@ impl<M: Message> OutWire<M> {
             link: 0,
             chaos: None,
             reliable: None,
+            clock: Clock::wall(),
         }
     }
 
     /// Queues one logical emission to `dest`, through the reliable layer
     /// (sequence stamping + retry tracking) and the chaos layer.
-    fn dispatch(&mut self, dest: usize, msg: M, now: Instant, metrics: &mut TaskMetrics) {
+    fn dispatch(&mut self, dest: usize, msg: M, now: Timestamp, metrics: &mut TaskMetrics) {
         metrics.msgs_out += 1;
         metrics.bytes_out += msg.wire_bytes();
         let packet = if let Some(rel) = &mut self.reliable {
@@ -248,7 +258,7 @@ impl<M: Message> OutWire<M> {
                 Pending {
                     msg: msg.clone(),
                     sent_at: now,
-                    last_tx: Instant::now(),
+                    last_tx: self.clock.now(),
                     retries: 0,
                 },
             );
@@ -344,11 +354,11 @@ impl<M: Message> OutWire<M> {
     /// chaos layer again — each attempt rolls fresh dice, so a retried
     /// tuple is never deterministically re-dropped.
     fn retransmit_overdue(&mut self, metrics: &mut TaskMetrics) {
-        let now = Instant::now();
+        let now = self.clock.now();
         let mut to_retx = Vec::new();
         if let Some(rel) = &mut self.reliable {
             for ((dest, seq), p) in rel.unacked.iter_mut() {
-                if now.duration_since(p.last_tx) >= rel.retry.timeout_after(p.retries) {
+                if now.saturating_since(p.last_tx) >= rel.retry.timeout_after(p.retries) {
                     p.retries += 1;
                     p.last_tx = now;
                     metrics.retries += 1;
@@ -391,6 +401,10 @@ impl<M: Message> OutWire<M> {
     /// retransmitting as needed. Once this returns, the (FIFO) channel
     /// holds no data the receiver has not already seen — so the EOS marker
     /// sent after it cannot overtake any tuple.
+    ///
+    /// Threaded execution only: the wait spins on wall-clock
+    /// `recv_timeout`. Simulated runs settle incrementally through
+    /// [`sim_settle`](Self::sim_settle) instead.
     fn settle(&mut self, metrics: &mut TaskMetrics) {
         self.flush_delayed();
         loop {
@@ -412,6 +426,25 @@ impl<M: Message> OutWire<M> {
             self.flush_delayed();
         }
     }
+
+    /// One non-blocking settle round: flush delayed packets, drain acks,
+    /// retransmit anything overdue at the current (virtual) time. Returns
+    /// `None` once nothing on this wire awaits acknowledgement; otherwise
+    /// the earliest deadline at which a pending tuple becomes overdue, so
+    /// the simulation scheduler knows how far to advance the clock when
+    /// every task is otherwise idle.
+    pub(crate) fn sim_settle(&mut self, metrics: &mut TaskMetrics) -> Option<Timestamp> {
+        self.flush_delayed();
+        self.drain_acks();
+        self.retransmit_overdue(metrics);
+        self.flush_delayed();
+        self.drain_acks();
+        let rel = self.reliable.as_ref()?;
+        rel.unacked
+            .values()
+            .map(|p| p.last_tx.plus(rel.retry.timeout_after(p.retries)))
+            .min()
+    }
 }
 
 /// The emission context handed to bolts (and used by spout drivers).
@@ -424,6 +457,7 @@ pub struct Outbox<M: Message> {
     pub(crate) wires: Vec<OutWire<M>>,
     pub(crate) task_index: usize,
     pub(crate) metrics: TaskMetrics,
+    pub(crate) clock: Clock,
 }
 
 impl<M: Message> Outbox<M> {
@@ -432,9 +466,17 @@ impl<M: Message> Outbox<M> {
         self.task_index
     }
 
+    /// The current run time on the topology's clock: real elapsed time in
+    /// a threaded run, deterministic virtual time in a simulated one. Use
+    /// this — never [`std::time::Instant`] — to stamp tuples whose
+    /// latencies the topology's metrics will measure.
+    pub fn now(&self) -> Timestamp {
+        self.clock.now()
+    }
+
     /// Emits along all non-direct outgoing wires.
     pub fn emit(&mut self, msg: M) {
-        let now = Instant::now();
+        let now = self.clock.now();
         let n_wires = self.wires.len();
         for w in 0..n_wires {
             let wire = &mut self.wires[w];
@@ -471,7 +513,7 @@ impl<M: Message> Outbox<M> {
     /// Panics if no outgoing wire uses [`Grouping::Direct`] or the task
     /// index is out of range.
     pub fn emit_direct(&mut self, task: usize, msg: M) {
-        let now = Instant::now();
+        let now = self.clock.now();
         let mut hit = false;
         for wire in &mut self.wires {
             if !matches!(wire.grouping, Grouping::Direct) {
@@ -511,6 +553,33 @@ impl<M: Message> Outbox<M> {
             // await every ack); only then may EOS enter the channel.
             wire.settle(&mut self.metrics);
             wire.flush_delayed();
+        }
+        self.send_eos_raw();
+    }
+
+    /// One non-blocking settle round over every wire. `None` means fully
+    /// settled (EOS may go out); otherwise the earliest retry deadline
+    /// across all wires.
+    pub(crate) fn sim_settle(&mut self) -> Option<Timestamp> {
+        let mut earliest: Option<Timestamp> = None;
+        for w in 0..self.wires.len() {
+            let wire = &mut self.wires[w];
+            if let Some(deadline) = wire.sim_settle(&mut self.metrics) {
+                earliest = Some(match earliest {
+                    Some(e) if e <= deadline => e,
+                    _ => deadline,
+                });
+            }
+        }
+        earliest
+    }
+
+    /// Sends the EOS marker on every wire without settling first. The
+    /// simulation scheduler calls this only after
+    /// [`sim_settle`](Self::sim_settle) reported every wire settled.
+    pub(crate) fn send_eos_raw(&mut self) {
+        for wire in &mut self.wires {
+            wire.flush_delayed();
             for s in &wire.senders {
                 s.send(Envelope::Eos).expect("receiver alive until EOS");
             }
@@ -547,6 +616,7 @@ mod tests {
                 wires: vec![OutWire::plain(grouping, senders)],
                 task_index: 0,
                 metrics: TaskMetrics::default(),
+                clock: Clock::wall(),
             },
             receivers,
         )
@@ -648,7 +718,7 @@ mod tests {
     #[test]
     fn reliable_rx_delivers_in_order_and_dedups() {
         let mut rx = ReliableRx::default();
-        let now = Instant::now();
+        let now = Timestamp::ZERO;
         let mut out = Vec::new();
         // Out of order: 1 buffers, 0 releases both.
         assert!(!rx.accept(1, N(1), now, &mut out));

@@ -1,4 +1,12 @@
 //! Per-task execution metrics and a log-bucket latency histogram.
+//!
+//! Nothing in this module reads the wall clock. Every duration recorded
+//! here (queue wait, busy time, end-to-end elapsed) is measured by the
+//! running topology through its [`Clock`](crate::Clock) — so under
+//! [`Scheduler::Sim`](crate::Scheduler::Sim) all reported latencies are
+//! *virtual-time* readings: deterministic, seed-reproducible, and counted
+//! in scheduler ticks rather than host nanoseconds. A threaded run uses a
+//! wall-anchored clock and reports real time through the same types.
 
 use std::fmt;
 use std::time::Duration;

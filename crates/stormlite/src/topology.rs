@@ -1,5 +1,6 @@
 //! Topology construction and execution.
 
+use crate::clock::{Clock, Timestamp};
 use crate::delivery::Delivery;
 use crate::fault::FaultPlan;
 use crate::grouping::Grouping;
@@ -8,46 +9,47 @@ use crate::message::{
     Ack, Bolt, Chaos, CollectorBolt, Envelope, Message, OutWire, Outbox, ReliableRx, ReliableTx,
 };
 use crate::metrics::{RunReport, TaskMetrics};
+use crate::sim::{Scheduler, SimConfig, SimRun};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Instant;
 
 const DEFAULT_CHANNEL_CAPACITY: usize = 1024;
 
-type BoltFactory<M> = Box<dyn FnMut(usize) -> Box<dyn Bolt<M>> + Send>;
+pub(crate) type BoltFactory<M> = Box<dyn FnMut(usize) -> Box<dyn Bolt<M>> + Send>;
 
-enum Kind<M: Message> {
+pub(crate) enum Kind<M: Message> {
     Spout(Option<Box<dyn Iterator<Item = M> + Send>>),
     Bolt(BoltFactory<M>),
 }
 
-struct Component<M: Message> {
-    name: String,
-    parallelism: usize,
-    kind: Kind<M>,
+pub(crate) struct Component<M: Message> {
+    pub(crate) name: String,
+    pub(crate) parallelism: usize,
+    pub(crate) kind: Kind<M>,
 }
 
-struct WireDef<M> {
-    from: usize,
-    to: usize,
-    grouping: Grouping<M>,
-    delivery: Delivery,
+pub(crate) struct WireDef<M> {
+    pub(crate) from: usize,
+    pub(crate) to: usize,
+    pub(crate) grouping: Grouping<M>,
+    pub(crate) delivery: Delivery,
 }
 
-/// A dataflow graph of spouts and bolts, executed with one thread per task.
+/// A dataflow graph of spouts and bolts, executed with one thread per task
+/// (or, under [`Scheduler::Sim`], single-threaded and deterministic).
 ///
 /// Build with [`spout`](Self::spout) / [`bolt`](Self::bolt) /
 /// [`wire`](Self::wire), then call [`run`](Self::run); the call returns
 /// once every tuple has drained and every task has exited.
 pub struct Topology<M: Message> {
-    components: Vec<Component<M>>,
-    wires: Vec<WireDef<M>>,
-    channel_capacity: usize,
-    fault_plan: FaultPlan,
-    link_plan: LinkFaultPlan,
-    restart_budget: u64,
+    pub(crate) components: Vec<Component<M>>,
+    pub(crate) wires: Vec<WireDef<M>>,
+    pub(crate) channel_capacity: usize,
+    pub(crate) fault_plan: FaultPlan,
+    pub(crate) link_plan: LinkFaultPlan,
+    pub(crate) restart_budget: u64,
 }
 
 impl<M: Message> Default for Topology<M> {
@@ -185,7 +187,7 @@ impl<M: Message> Topology<M> {
         });
     }
 
-    fn validate(&self) {
+    pub(crate) fn validate(&self) {
         // Every bolt needs input, and the graph must be acyclic.
         for (i, c) in self.components.iter().enumerate() {
             if matches!(c.kind, Kind::Bolt(_)) {
@@ -267,10 +269,31 @@ impl<M: Message> Topology<M> {
         }
     }
 
+    /// Executes the topology to completion on the given scheduler.
+    ///
+    /// [`Scheduler::Threads`] is identical to [`run`](Self::run);
+    /// [`Scheduler::Sim`] runs the whole topology single-threaded on a
+    /// virtual clock (discarding the recorded transcript — use
+    /// [`run_sim`](Self::run_sim) to keep it).
+    pub fn run_with(self, scheduler: Scheduler) -> RunReport {
+        match scheduler {
+            Scheduler::Threads => self.run(),
+            Scheduler::Sim(cfg) => self.run_sim(cfg).report,
+        }
+    }
+
+    /// Executes the topology deterministically under the simulation
+    /// scheduler (see [`crate::sim`]) and returns both the run report and
+    /// the recorded transcript.
+    pub fn run_sim(self, cfg: SimConfig) -> SimRun {
+        crate::sim::execute(self, cfg)
+    }
+
     /// Executes the topology to completion and returns the run report.
     pub fn run(self) -> RunReport {
         self.validate();
         let n = self.components.len();
+        let clock = Clock::wall();
 
         // Input channels: one per bolt task.
         let mut senders: Vec<Vec<Sender<Envelope<M>>>> = Vec::with_capacity(n);
@@ -292,67 +315,18 @@ impl<M: Message> Topology<M> {
             receivers.push(comp_receivers);
         }
 
-        // Expected EOS tokens per component = sum of upstream parallelism.
-        let expected_eos: Vec<usize> = (0..n)
-            .map(|i| {
-                self.wires
-                    .iter()
-                    .filter(|w| w.to == i)
-                    .map(|w| self.components[w.from].parallelism)
-                    .sum()
-            })
-            .collect();
+        let expected_eos = expected_eos_counts(&self.components, &self.wires);
 
         // Component names, cloned so the outbox builder doesn't borrow
         // `self.components` (which is consumed when tasks spawn).
         let names: Vec<String> = self.components.iter().map(|c| c.name.clone()).collect();
 
-        let build_outbox = |comp: usize, task: usize| -> Outbox<M> {
-            let wires = self
-                .wires
-                .iter()
-                .enumerate()
-                .filter(|(_, w)| w.from == comp)
-                .map(|(wire_index, w)| {
-                    let from_name = &names[w.from];
-                    let to_name = &names[w.to];
-                    let chaos = self
-                        .link_plan
-                        .dice_for(from_name, to_name, wire_index, task)
-                        .map(Chaos::new);
-                    let reliable = match w.delivery {
-                        Delivery::BestEffort => None,
-                        Delivery::AtLeastOnce(retry) => {
-                            Some(ReliableTx::new(retry, senders[w.to].len()))
-                        }
-                    };
-                    OutWire {
-                        grouping: w.grouping.clone(),
-                        senders: senders[w.to].clone(),
-                        // Stagger round-robin start by task to avoid
-                        // lockstep.
-                        rr_next: task,
-                        // Unique per (wire, sender task): receivers key
-                        // their sequence state on it.
-                        link: ((wire_index as u64) << 32) | task as u64,
-                        chaos,
-                        reliable,
-                    }
-                })
-                .collect();
-            Outbox {
-                wires,
-                task_index: task,
-                metrics: TaskMetrics::default(),
-            }
-        };
-
-        let started = Instant::now();
         let mut handles = Vec::new();
         for (i, c) in self.components.into_iter().enumerate() {
             match c.kind {
                 Kind::Spout(mut source) => {
-                    let mut outbox = build_outbox(i, 0);
+                    let mut outbox =
+                        build_outbox(&self.wires, &names, &self.link_plan, &senders, &clock, i, 0);
                     let name = c.name.clone();
                     let source = source.take().expect("spout source present");
                     handles.push((
@@ -371,7 +345,15 @@ impl<M: Message> Topology<M> {
                     let factory = Arc::new(Mutex::new(factory));
                     let comp_receivers = std::mem::take(&mut receivers[i]);
                     for (task, rx_slot) in comp_receivers.into_iter().enumerate() {
-                        let mut outbox = build_outbox(i, task);
+                        let mut outbox = build_outbox(
+                            &self.wires,
+                            &names,
+                            &self.link_plan,
+                            &senders,
+                            &clock,
+                            i,
+                            task,
+                        );
                         let rx = rx_slot.expect("receiver unclaimed");
                         let expected = expected_eos[i];
                         let name = c.name.clone();
@@ -384,14 +366,23 @@ impl<M: Message> Topology<M> {
                             std::thread::Builder::new()
                                 .name(format!("{name}-{task}"))
                                 .spawn(move || {
-                                    run_bolt(
-                                        &factory,
+                                    let mut core = BoltCore::new(
+                                        factory,
                                         task,
-                                        rx,
-                                        &mut outbox,
                                         expected,
                                         fault_points,
                                         restart_budget,
+                                    );
+                                    while let Ok(envelope) = rx.recv() {
+                                        if core.handle(envelope, &mut outbox) {
+                                            outbox.send_eos();
+                                            break;
+                                        }
+                                    }
+                                    (
+                                        std::mem::take(&mut outbox.metrics),
+                                        std::mem::take(&mut core.failures),
+                                        core.restarts,
                                     )
                                 })
                                 .expect("spawn bolt"),
@@ -423,8 +414,72 @@ impl<M: Message> Topology<M> {
             tasks,
             failures,
             restarts,
-            elapsed: started.elapsed(),
+            elapsed: clock.now().saturating_since(Timestamp::ZERO),
         }
+    }
+}
+
+/// Expected EOS tokens per component = sum of upstream parallelism.
+pub(crate) fn expected_eos_counts<M: Message>(
+    components: &[Component<M>],
+    wires: &[WireDef<M>],
+) -> Vec<usize> {
+    (0..components.len())
+        .map(|i| {
+            wires
+                .iter()
+                .filter(|w| w.to == i)
+                .map(|w| components[w.from].parallelism)
+                .sum()
+        })
+        .collect()
+}
+
+/// Builds the outbox of one task: its outgoing wires with their chaos and
+/// reliable-delivery layers, all reading the run's shared clock. Used by
+/// both the threaded and the simulation executor.
+pub(crate) fn build_outbox<M: Message>(
+    wire_defs: &[WireDef<M>],
+    names: &[String],
+    link_plan: &LinkFaultPlan,
+    senders: &[Vec<Sender<Envelope<M>>>],
+    clock: &Clock,
+    comp: usize,
+    task: usize,
+) -> Outbox<M> {
+    let wires = wire_defs
+        .iter()
+        .enumerate()
+        .filter(|(_, w)| w.from == comp)
+        .map(|(wire_index, w)| {
+            let from_name = &names[w.from];
+            let to_name = &names[w.to];
+            let chaos = link_plan
+                .dice_for(from_name, to_name, wire_index, task)
+                .map(Chaos::new);
+            let reliable = match w.delivery {
+                Delivery::BestEffort => None,
+                Delivery::AtLeastOnce(retry) => Some(ReliableTx::new(retry, senders[w.to].len())),
+            };
+            OutWire {
+                grouping: w.grouping.clone(),
+                senders: senders[w.to].clone(),
+                // Stagger round-robin start by task to avoid lockstep.
+                rr_next: task,
+                // Unique per (wire, sender task): receivers key their
+                // sequence state on it.
+                link: ((wire_index as u64) << 32) | task as u64,
+                chaos,
+                reliable,
+                clock: clock.clone(),
+            }
+        })
+        .collect();
+    Outbox {
+        wires,
+        task_index: task,
+        metrics: TaskMetrics::default(),
+        clock: clock.clone(),
     }
 }
 
@@ -452,7 +507,7 @@ fn run_spout<M: Message>(
 }
 
 /// Renders a caught panic payload for the run report.
-fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = panic.downcast_ref::<&str>() {
         (*s).to_owned()
     } else if let Some(s) = panic.downcast_ref::<String>() {
@@ -471,44 +526,86 @@ fn build_bolt<M: Message>(
         .map_err(panic_message)
 }
 
-#[allow(clippy::too_many_arguments)]
-fn run_bolt<M: Message>(
-    factory: &Mutex<BoltFactory<M>>,
+/// The scheduler-independent heart of one bolt task: EOS accounting,
+/// reliable-receive dedup, injected-fault and supervised-restart handling,
+/// and tuple execution. The threaded executor drives it from a blocking
+/// `recv` loop; the simulation scheduler feeds it one envelope per step.
+pub(crate) struct BoltCore<M: Message> {
+    factory: Arc<Mutex<BoltFactory<M>>>,
     task: usize,
-    rx: Receiver<Envelope<M>>,
-    outbox: &mut Outbox<M>,
     expected_eos: usize,
-    fault_points: Vec<u64>,
-    restart_budget: u64,
-) -> (TaskMetrics, Vec<String>, u64) {
-    let mut eos_seen = 0;
-    let mut failures: Vec<String> = Vec::new();
-    let mut restarts = 0u64;
-    let mut organic_restarts_left = restart_budget;
-    // Tuples fully processed across all incarnations of this task; injected
-    // crash points are expressed in this count.
-    let mut processed = 0u64;
-    let mut next_fault = fault_points.into_iter().peekable();
+    eos_seen: usize,
+    pub(crate) failures: Vec<String>,
+    pub(crate) restarts: u64,
+    organic_restarts_left: u64,
+    /// Tuples fully processed across all incarnations of this task;
+    /// injected crash points are expressed in this count.
+    processed: u64,
+    next_fault: std::iter::Peekable<std::vec::IntoIter<u64>>,
+    bolt: Option<Box<dyn Bolt<M>>>,
+    /// Per-link reliable-receive state (sequence cursor + reorder buffer),
+    /// keyed by the sender's link identity. It lives here, not in the bolt
+    /// instance, so dedup survives bolt crashes and restarts. (Only ever
+    /// accessed by key — never iterated — so the randomized `HashMap`
+    /// order cannot leak into delivery order.)
+    links: HashMap<u64, ReliableRx<M>>,
+    /// Tuples released for processing by the current envelope: one for a
+    /// plain Data envelope, zero or more (in sequence order) for a Seq one.
+    deliverable: Vec<(M, Timestamp)>,
+}
 
-    let mut bolt = match build_bolt(factory, task) {
-        Ok(b) => Some(b),
-        Err(msg) => {
-            failures.push(msg);
-            None
+impl<M: Message> BoltCore<M> {
+    pub(crate) fn new(
+        factory: Arc<Mutex<BoltFactory<M>>>,
+        task: usize,
+        expected_eos: usize,
+        fault_points: Vec<u64>,
+        restart_budget: u64,
+    ) -> Self {
+        let mut failures = Vec::new();
+        let bolt = match build_bolt(&factory, task) {
+            Ok(b) => Some(b),
+            Err(msg) => {
+                failures.push(msg);
+                None
+            }
+        };
+        Self {
+            factory,
+            task,
+            expected_eos,
+            eos_seen: 0,
+            failures,
+            restarts: 0,
+            organic_restarts_left: restart_budget,
+            processed: 0,
+            next_fault: fault_points.into_iter().peekable(),
+            bolt,
+            links: HashMap::new(),
+            deliverable: Vec::new(),
         }
-    };
+    }
 
-    // Per-link reliable-receive state (sequence cursor + reorder buffer),
-    // keyed by the sender's link identity. It lives in the receive loop,
-    // not the bolt instance, so dedup survives bolt crashes and restarts.
-    let mut links: HashMap<u64, ReliableRx<M>> = HashMap::new();
-    // Tuples released for processing by the current envelope: one for a
-    // plain Data envelope, zero or more (in sequence order) for a Seq one.
-    let mut deliverable: Vec<(M, Instant)> = Vec::new();
+    fn rebuild(&mut self) {
+        match build_bolt(&self.factory, self.task) {
+            Ok(b) => {
+                self.bolt = Some(b);
+                self.restarts += 1;
+            }
+            Err(msg) => {
+                self.failures.push(msg);
+                self.bolt = None;
+            }
+        }
+    }
 
-    while let Ok(envelope) = rx.recv() {
+    /// Processes one envelope. Returns `true` once the last expected EOS
+    /// has arrived and `finish` has run — the caller then owns sending the
+    /// task's own EOS downstream (blocking settle on the threaded path,
+    /// incremental settle in simulation).
+    pub(crate) fn handle(&mut self, envelope: Envelope<M>, outbox: &mut Outbox<M>) -> bool {
         match envelope {
-            Envelope::Data(msg, sent_at) => deliverable.push((msg, sent_at)),
+            Envelope::Data(msg, sent_at) => self.deliverable.push((msg, sent_at)),
             Envelope::Seq {
                 msg,
                 sent_at,
@@ -520,94 +617,86 @@ fn run_bolt<M: Message>(
                 // sender may have retransmitted before the first ack
                 // drained, and acks for already-settled sequence numbers
                 // are simply ignored there.
-                let _ = ack.send(Ack { dest: task, seq });
-                let state = links.entry(link).or_default();
-                if state.accept(seq, msg, sent_at, &mut deliverable) {
+                let _ = ack.send(Ack {
+                    dest: self.task,
+                    seq,
+                });
+                let state = self.links.entry(link).or_default();
+                if state.accept(seq, msg, sent_at, &mut self.deliverable) {
                     outbox.metrics.dup_drops += 1;
                 }
             }
             Envelope::Eos => {
-                eos_seen += 1;
-                if eos_seen == expected_eos {
-                    if let Some(instance) = bolt.as_deref_mut() {
+                self.eos_seen += 1;
+                if self.eos_seen == self.expected_eos {
+                    if let Some(instance) = self.bolt.as_deref_mut() {
                         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                             instance.finish(outbox)
                         }));
                         if let Err(panic) = r {
-                            failures.push(panic_message(panic));
+                            self.failures.push(panic_message(panic));
                         }
                     }
-                    outbox.send_eos();
-                    break;
+                    return true;
                 }
             }
         }
+        // Moved out of `self` so the rebuild path can borrow the rest of
+        // the core mutably; restored below to keep the buffer's capacity.
+        let mut deliverable = std::mem::take(&mut self.deliverable);
         for (msg, sent_at) in deliverable.drain(..) {
-            outbox.metrics.queue_wait.record(sent_at.elapsed());
+            outbox
+                .metrics
+                .queue_wait
+                .record(outbox.clock.now().saturating_since(sent_at));
             outbox.metrics.msgs_in += 1;
             outbox.metrics.bytes_in += msg.wire_bytes();
             // Injected crash boundary: the instance dies having fully
             // processed `processed` tuples, and a fresh instance —
             // which sees none of the old one's in-memory state — takes
             // over with this tuple, delivered exactly once.
-            while bolt.is_some() && next_fault.next_if_eq(&processed).is_some() {
-                failures.push(format!(
-                    "injected fault: task crashed after {processed} tuples"
+            while self.bolt.is_some() && self.next_fault.next_if_eq(&self.processed).is_some() {
+                self.failures.push(format!(
+                    "injected fault: task crashed after {} tuples",
+                    self.processed
                 ));
-                match build_bolt(factory, task) {
-                    Ok(b) => {
-                        bolt = Some(b);
-                        restarts += 1;
-                    }
-                    Err(msg) => {
-                        failures.push(msg);
-                        bolt = None;
-                    }
-                }
+                self.rebuild();
             }
-            let Some(instance) = bolt.as_deref_mut() else {
+            let Some(instance) = self.bolt.as_deref_mut() else {
                 // A dead bolt keeps draining its queue so upstream
                 // senders never block on a dead consumer; tuples are
                 // discarded.
                 continue;
             };
-            let t0 = Instant::now();
+            let t0 = outbox.clock.now();
             let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 instance.execute(msg, outbox)
             }));
-            outbox.metrics.busy += t0.elapsed();
+            outbox.metrics.busy += outbox.clock.now().saturating_since(t0);
             match r {
-                Ok(()) => processed += 1,
+                Ok(()) => self.processed += 1,
                 Err(panic) => {
-                    failures.push(panic_message(panic));
+                    self.failures.push(panic_message(panic));
                     // An organic panic consumes its tuple: redelivering
                     // it to the fresh instance would just crash it
                     // again. The crashed instance counts as having
                     // processed it for fault-point bookkeeping — and is
                     // counted as a poisoned drop so the loss is never
                     // silent.
-                    processed += 1;
+                    self.processed += 1;
                     outbox.metrics.dropped_poisoned += 1;
-                    if organic_restarts_left > 0 {
-                        organic_restarts_left -= 1;
-                        match build_bolt(factory, task) {
-                            Ok(b) => {
-                                bolt = Some(b);
-                                restarts += 1;
-                            }
-                            Err(msg) => {
-                                failures.push(msg);
-                                bolt = None;
-                            }
-                        }
+                    if self.organic_restarts_left > 0 {
+                        self.organic_restarts_left -= 1;
+                        self.rebuild();
                     } else {
-                        bolt = None;
+                        self.bolt = None;
                     }
                 }
             }
         }
+        self.deliverable = deliverable;
+        false
     }
-    (std::mem::take(&mut outbox.metrics), failures, restarts)
 }
 
 #[cfg(test)]

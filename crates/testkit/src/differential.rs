@@ -1,0 +1,267 @@
+//! Differential execution: run the real distributed system under
+//! deterministic simulation and compare its output against the
+//! [`oracle`], exactly.
+//!
+//! [`run_differential`] is the single entry point: it derives a workload
+//! from a seed, runs any [`Strategy`] × [`LocalAlgo`] × window
+//! configuration — optionally with injected joiner crashes, lossy links,
+//! and load shedding — under [`Scheduler::Sim`] with the same seed, and
+//! panics unless the produced pair set (keys *and* similarity values)
+//! equals the oracle's. Because the whole run is simulated, a failing seed
+//! replays the exact same interleaving every time: paste the seed into a
+//! test and debug a perfectly reproducible execution.
+
+use crate::oracle;
+use ssj_core::JoinConfig;
+use ssj_distrib::{
+    run_bistream_distributed, run_distributed, DistributedJoinConfig, DistributedJoinResult,
+    LocalAlgo, Strategy,
+};
+use ssj_text::Record;
+use ssj_workloads::{DatasetProfile, LengthDist, StreamGenerator};
+use stormlite::{FaultPlan, Scheduler, SimConfig};
+
+/// The workload profile differential tests run on: moderate skew, short
+/// sets, and a high near-duplicate rate so that every seed produces a
+/// non-trivial number of matching pairs at the usual thresholds.
+pub fn differential_profile() -> DatasetProfile {
+    DatasetProfile {
+        name: "differential",
+        vocab: 300,
+        skew: 0.8,
+        len_dist: LengthDist::Uniform { lo: 2, hi: 24 },
+        dup_rate: 0.4,
+        dup_mutations: 2,
+        recent_pool: 128,
+    }
+}
+
+/// One differential scenario: everything about a run except the seed.
+#[derive(Debug, Clone)]
+pub struct DifferentialCase {
+    /// Stream length.
+    pub records: usize,
+    /// Joiner parallelism.
+    pub k: usize,
+    /// Threshold and window.
+    pub join: JoinConfig,
+    /// Local algorithm on each joiner.
+    pub local: LocalAlgo,
+    /// Distribution strategy.
+    pub strategy: Strategy,
+    /// Run as a bi-stream (R–S) join: records with even ids form the left
+    /// stream, odd ids the right.
+    pub bistream: bool,
+    /// Inject a seeded joiner crash (recovery must mask it exactly).
+    pub crash: bool,
+    /// Make every wire lossy and at-least-once (the protocol must mask the
+    /// faults exactly).
+    pub chaos: bool,
+    /// Shed records above this dispatcher queue depth; the comparison then
+    /// uses the shed-adjusted oracle. Incompatible with `bistream` (the
+    /// bi-stream oracle has no shed accounting).
+    pub shed_watermark: Option<usize>,
+}
+
+impl DifferentialCase {
+    /// A plain fault-free case with the given topology shape.
+    pub fn new(
+        records: usize,
+        k: usize,
+        join: JoinConfig,
+        local: LocalAlgo,
+        strategy: Strategy,
+    ) -> Self {
+        Self {
+            records,
+            k,
+            join,
+            local,
+            strategy,
+            bistream: false,
+            crash: false,
+            chaos: false,
+            shed_watermark: None,
+        }
+    }
+
+    /// Runs as a bi-stream join.
+    pub fn bistream(mut self) -> Self {
+        self.bistream = true;
+        self
+    }
+
+    /// Injects a seeded joiner crash.
+    pub fn with_crash(mut self) -> Self {
+        self.crash = true;
+        self
+    }
+
+    /// Makes every wire lossy under at-least-once delivery.
+    pub fn with_chaos(mut self) -> Self {
+        self.chaos = true;
+        self
+    }
+
+    /// Sheds load above the given queue depth.
+    pub fn with_shedding(mut self, watermark: usize) -> Self {
+        self.shed_watermark = Some(watermark);
+        self
+    }
+}
+
+/// What a differential run produced, after the oracle comparison passed.
+#[derive(Debug)]
+pub struct DifferentialOutcome {
+    /// Result pairs the system (and the oracle) produced.
+    pub pairs: usize,
+    /// Records shed by the dispatcher.
+    pub shed: usize,
+    /// Exact shed-adjusted recall (`1.0` when nothing was shed).
+    pub recall: f64,
+    /// The full run result, for further assertions.
+    pub result: DistributedJoinResult,
+}
+
+/// Runs `case` under deterministic simulation with `seed` driving the
+/// workload, the interleaving, and every injected fault — then asserts
+/// the result set equals the reference oracle exactly (same pair keys,
+/// same similarity values).
+///
+/// # Panics
+///
+/// Panics on any divergence from the oracle, naming the first offending
+/// seed/key so the failure can be replayed verbatim.
+pub fn run_differential(seed: u64, case: &DifferentialCase) -> DifferentialOutcome {
+    assert!(
+        !(case.bistream && case.shed_watermark.is_some()),
+        "shed accounting is only defined for the self-join oracle"
+    );
+    let records = StreamGenerator::new(differential_profile(), seed).take_records(case.records);
+
+    let mut cfg = DistributedJoinConfig {
+        k: case.k,
+        join: case.join,
+        local: case.local,
+        strategy: case.strategy.clone(),
+        channel_capacity: 64,
+        source_rate: None,
+        fault: None,
+        chaos_seed: case.chaos.then_some(seed),
+        shed_watermark: case.shed_watermark,
+        replay_buffer_cap: None,
+        scheduler: Scheduler::Sim(SimConfig::seeded(seed)),
+    };
+    if case.crash {
+        // Crash point within the stream so the crash actually fires on
+        // most seeds; recovery must reproduce the exact oracle result.
+        let horizon = (case.records as u64 / 2).max(1);
+        cfg.fault = Some(FaultPlan::new().crash_seeded("joiner", case.k, horizon, seed));
+    }
+
+    let (result, expect) = if case.bistream {
+        let (left, right): (Vec<Record>, Vec<Record>) =
+            records.iter().cloned().partition(|r| r.id().0 % 2 == 0);
+        let result = run_bistream_distributed(&left, &right, &cfg);
+        let expect = oracle::bistream_join(&left, &right, &case.join);
+        (result, expect)
+    } else {
+        let result = run_distributed(&records, &cfg);
+        let expect = oracle::self_join_surviving(&records, &case.join, &result.shed_records);
+        (result, expect)
+    };
+
+    let got_keys = oracle::sorted_keys(&result.pairs);
+    let expect_keys = oracle::sorted_keys(&expect);
+    assert_eq!(
+        got_keys, expect_keys,
+        "seed {seed}: result pair set diverges from oracle ({case:?})"
+    );
+    let mut got_sorted = result.pairs.clone();
+    got_sorted.sort_by_key(|m| m.key());
+    let mut expect_sorted = expect;
+    expect_sorted.sort_by_key(|m| m.key());
+    for (g, e) in got_sorted.iter().zip(&expect_sorted) {
+        assert!(
+            (g.similarity - e.similarity).abs() < 1e-12,
+            "seed {seed}: similarity diverges on {:?}: {} vs oracle {}",
+            g.key(),
+            g.similarity,
+            e.similarity
+        );
+    }
+
+    let recall = if case.shed_watermark.is_some() {
+        oracle::shed_recall(&records, &case.join, &result.shed_records)
+    } else {
+        1.0
+    };
+    DifferentialOutcome {
+        pairs: got_keys.len(),
+        shed: result.shed_records.len(),
+        recall,
+        result,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssj_core::Window;
+    use ssj_distrib::PartitionMethod;
+
+    fn base_case() -> DifferentialCase {
+        DifferentialCase::new(
+            150,
+            3,
+            JoinConfig::jaccard(0.7),
+            LocalAlgo::bundle(),
+            Strategy::LengthAuto {
+                method: PartitionMethod::LoadAware,
+                sample: 50,
+            },
+        )
+    }
+
+    #[test]
+    fn plain_case_matches_oracle() {
+        let out = run_differential(11, &base_case());
+        assert!(
+            out.pairs > 0,
+            "workload produced no pairs — test is vacuous"
+        );
+        assert_eq!(out.shed, 0);
+    }
+
+    #[test]
+    fn crash_and_chaos_case_matches_oracle() {
+        let mut case = base_case().with_crash().with_chaos();
+        case.join = case.join.with_window(Window::Count(60));
+        run_differential(23, &case);
+    }
+
+    #[test]
+    fn bistream_case_matches_oracle() {
+        let out = run_differential(5, &base_case().bistream());
+        assert!(out.pairs > 0, "bistream workload produced no pairs");
+    }
+
+    #[test]
+    fn shedding_case_uses_adjusted_oracle() {
+        let out = run_differential(3, &base_case().with_shedding(4));
+        assert!(out.recall <= 1.0 && out.recall > 0.0);
+    }
+
+    #[test]
+    fn same_seed_same_outcome() {
+        let case = base_case().with_chaos();
+        let a = run_differential(42, &case);
+        let b = run_differential(42, &case);
+        assert_eq!(a.pairs, b.pairs);
+        assert_eq!(
+            oracle::sorted_keys(&a.result.pairs),
+            oracle::sorted_keys(&b.result.pairs)
+        );
+        assert_eq!(a.result.report.elapsed, b.result.report.elapsed);
+    }
+}

@@ -1,0 +1,34 @@
+//! testkit — the differential oracle and simulation test harness.
+//!
+//! Production joiners are fast because they filter, batch, shed and
+//! recover; proving they are also *correct* needs a reference that does
+//! none of that. This crate provides:
+//!
+//! * [`oracle`] — a naive O(n²) reference join over windowed streams
+//!   (self-join and bi-stream) sharing only the acceptance and window
+//!   predicates with the real joiners, plus exact shed-adjusted recall
+//!   accounting for degraded runs;
+//! * [`differential`] — [`run_differential`]: execute any distribution
+//!   strategy × local algorithm × window configuration under stormlite's
+//!   deterministic simulation ([`stormlite::sim`]) and assert the result
+//!   equals the oracle exactly — with crashes, lossy links and load
+//!   shedding in play. A failing seed replays the identical interleaving.
+//! * [`transcript`] — golden-transcript recording and diffing: a frozen
+//!   reference run whose committed transcript must replay byte-identically.
+//!
+//! Seeds drive everything (workload, interleaving, faults), so a failure
+//! report is a complete reproduction recipe: the seed plus the case.
+
+#![warn(missing_docs)]
+
+pub mod differential;
+pub mod oracle;
+pub mod transcript;
+
+pub use differential::{
+    differential_profile, run_differential, DifferentialCase, DifferentialOutcome,
+};
+pub use oracle::{
+    bistream_join, overlap, self_join, self_join_surviving, shed_recall, sorted_keys,
+};
+pub use transcript::{diff, reference_run};

@@ -1,0 +1,228 @@
+//! The naive O(n²) reference oracle.
+//!
+//! Every correctness claim in this repository bottoms out here: a double
+//! loop over the stream in arrival order that evaluates, for each
+//! (earlier, later) pair, the *same* window predicate
+//! ([`Window::expired`](ssj_core::Window::expired)) and the *same*
+//! acceptance predicate
+//! ([`Threshold::matches`](ssj_core::Threshold::matches)) the production
+//! joiners use — but with none of their filtering, indexing, routing,
+//! recovery or batching machinery. Because both predicates are single
+//! deterministic `f64` comparisons shared with the joiners, oracle output
+//! is *bit-identical* to a correct run, not merely approximately equal.
+//!
+//! The oracle is deliberately written as differently from the joiners as
+//! possible (no prefix index, no eviction queue, no bundles) so a bug
+//! would have to be independently invented twice to escape a differential
+//! test.
+
+use ssj_core::{JoinConfig, MatchPair};
+use ssj_text::Record;
+use std::collections::HashSet;
+
+/// Exact intersection size of two token sets via sorted merge.
+///
+/// Records store strictly ascending token ids, so a linear merge is exact.
+pub fn overlap(a: &Record, b: &Record) -> usize {
+    let (ta, tb) = (a.tokens(), b.tokens());
+    let (mut i, mut j, mut n) = (0, 0, 0);
+    while i < ta.len() && j < tb.len() {
+        match ta[i].cmp(&tb[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+fn pair(cfg: &JoinConfig, earlier: &Record, later: &Record) -> Option<MatchPair> {
+    if cfg.window.expired(
+        earlier.id().0,
+        earlier.timestamp(),
+        later.id().0,
+        later.timestamp(),
+    ) {
+        return None;
+    }
+    let o = overlap(earlier, later);
+    if !cfg.threshold.matches(o, earlier.len(), later.len()) {
+        return None;
+    }
+    Some(MatchPair {
+        earlier: earlier.id(),
+        later: later.id(),
+        similarity: cfg.threshold.similarity(o, earlier.len(), later.len()),
+    })
+}
+
+fn assert_arrival_order(records: &[Record]) {
+    assert!(
+        records.windows(2).all(|w| w[0].id() < w[1].id()),
+        "oracle input must be in arrival order (strictly ascending ids)"
+    );
+}
+
+/// Exact windowed self-join result: all (earlier, later) pairs whose
+/// overlap reaches the threshold and where the earlier record is still
+/// inside the later record's window. `records` must be in arrival order.
+///
+/// Pairs are returned in probe order (grouped by `later`); use
+/// [`sorted_keys`] for set comparison.
+pub fn self_join(records: &[Record], cfg: &JoinConfig) -> Vec<MatchPair> {
+    assert_arrival_order(records);
+    let mut out = Vec::new();
+    for (j, later) in records.iter().enumerate() {
+        for earlier in &records[..j] {
+            out.extend(pair(cfg, earlier, later));
+        }
+    }
+    out
+}
+
+/// Exact windowed bi-stream (R–S) join result: only cross-side pairs, each
+/// oriented (earlier, later) by global arrival id. Both inputs must be in
+/// arrival order and ids must be globally unique across the two streams
+/// (the same contract as
+/// [`run_bistream_distributed`](ssj_distrib::run_bistream_distributed)).
+pub fn bistream_join(left: &[Record], right: &[Record], cfg: &JoinConfig) -> Vec<MatchPair> {
+    assert_arrival_order(left);
+    assert_arrival_order(right);
+    // Tag and merge by arrival id, then run the double loop restricted to
+    // cross-side pairs.
+    let mut merged: Vec<(bool, &Record)> = left
+        .iter()
+        .map(|r| (true, r))
+        .chain(right.iter().map(|r| (false, r)))
+        .collect();
+    merged.sort_by_key(|(_, r)| r.id());
+    assert!(
+        merged.windows(2).all(|w| w[0].1.id() < w[1].1.id()),
+        "record ids must be globally unique across both streams"
+    );
+    let mut out = Vec::new();
+    for (j, &(later_side, later)) in merged.iter().enumerate() {
+        for &(earlier_side, earlier) in &merged[..j] {
+            if earlier_side != later_side {
+                out.extend(pair(cfg, earlier, later));
+            }
+        }
+    }
+    out
+}
+
+/// Exact self-join over the records that *survived* load shedding: the
+/// oracle for a degraded run. Shed records are dropped whole at the
+/// dispatcher (they neither probe nor index), while window predicates use
+/// global arrival coordinates carried by each record — so the reference is
+/// simply the full oracle restricted to non-shed records, with their
+/// original ids.
+pub fn self_join_surviving(records: &[Record], cfg: &JoinConfig, shed: &[u64]) -> Vec<MatchPair> {
+    let shed: HashSet<u64> = shed.iter().copied().collect();
+    let kept: Vec<Record> = records
+        .iter()
+        .filter(|r| !shed.contains(&r.id().0))
+        .cloned()
+        .collect();
+    self_join(&kept, cfg)
+}
+
+/// Exact shed-adjusted recall: the fraction of true result pairs a run
+/// that shed `shed` could still produce. `1.0` when the full oracle is
+/// empty (nothing was lost because nothing existed).
+pub fn shed_recall(records: &[Record], cfg: &JoinConfig, shed: &[u64]) -> f64 {
+    let full = self_join(records, cfg).len();
+    if full == 0 {
+        return 1.0;
+    }
+    self_join_surviving(records, cfg, shed).len() as f64 / full as f64
+}
+
+/// Canonical sorted key set for comparing result sets.
+pub fn sorted_keys(pairs: &[MatchPair]) -> Vec<(u64, u64)> {
+    let mut keys: Vec<_> = pairs.iter().map(|m| m.key()).collect();
+    keys.sort_unstable();
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssj_core::{Threshold, Window};
+    use ssj_text::{Record, RecordId, TokenId};
+
+    fn rec(id: u64, ts: u64, tokens: &[u32]) -> Record {
+        Record::from_sorted(
+            RecordId(id),
+            ts,
+            tokens.iter().map(|&t| TokenId(t)).collect(),
+        )
+    }
+
+    #[test]
+    fn overlap_is_exact_on_sorted_sets() {
+        let a = rec(0, 0, &[1, 3, 5, 9]);
+        let b = rec(1, 0, &[2, 3, 9, 11]);
+        assert_eq!(overlap(&a, &b), 2);
+        assert_eq!(overlap(&a, &a), 4);
+    }
+
+    #[test]
+    fn self_join_reports_each_pair_once_oriented() {
+        let records = vec![
+            rec(0, 0, &[1, 2, 3]),
+            rec(1, 1, &[1, 2, 3]),
+            rec(2, 2, &[7]),
+        ];
+        let cfg = JoinConfig::jaccard(0.9);
+        let got = self_join(&records, &cfg);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].key(), (0, 1));
+        assert_eq!(got[0].similarity, 1.0);
+    }
+
+    #[test]
+    fn self_join_honours_count_window() {
+        let records = vec![rec(0, 0, &[1, 2]), rec(5, 0, &[1, 2])];
+        let cfg = JoinConfig::jaccard(0.9).with_window(Window::Count(4));
+        assert!(self_join(&records, &cfg).is_empty());
+        let cfg = JoinConfig::jaccard(0.9).with_window(Window::Count(5));
+        assert_eq!(self_join(&records, &cfg).len(), 1);
+    }
+
+    #[test]
+    fn bistream_join_is_cross_side_only() {
+        let left = vec![rec(0, 0, &[1, 2]), rec(2, 2, &[1, 2])];
+        let right = vec![rec(1, 1, &[1, 2])];
+        let cfg = JoinConfig::jaccard(0.9);
+        let keys = sorted_keys(&bistream_join(&left, &right, &cfg));
+        // (0,2) is a same-side pair and must be absent.
+        assert_eq!(keys, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn shed_recall_accounts_lost_pairs_exactly() {
+        let records = vec![rec(0, 0, &[1, 2]), rec(1, 1, &[1, 2]), rec(2, 2, &[1, 2])];
+        let cfg = JoinConfig {
+            threshold: Threshold::jaccard(0.9),
+            window: Window::Unbounded,
+        };
+        // Full oracle: 3 pairs. Shedding record 1 kills (0,1) and (1,2).
+        assert_eq!(self_join(&records, &cfg).len(), 3);
+        let surviving = self_join_surviving(&records, &cfg, &[1]);
+        assert_eq!(sorted_keys(&surviving), vec![(0, 2)]);
+        let recall = shed_recall(&records, &cfg, &[1]);
+        assert!((recall - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival order")]
+    fn unsorted_input_is_rejected() {
+        let records = vec![rec(1, 0, &[1]), rec(0, 0, &[1])];
+        self_join(&records, &JoinConfig::jaccard(0.5));
+    }
+}

@@ -1,0 +1,110 @@
+//! Transcript recording and diffing for golden-run regression tests.
+//!
+//! A [`Transcript`] is the full interleaving record
+//! of a simulated run. [`reference_run`] executes a fixed topology —
+//! exercising crashes, lossy links, at-least-once retries and the virtual
+//! clock all at once — whose transcript for a given seed is *frozen*: a
+//! golden copy is committed under `crates/testkit/golden/` and the
+//! regression test asserts byte-identical replay. Any change to scheduler
+//! order, retry timing, fault decisions, or transcript formatting shows up
+//! as a diff against the golden file, with [`diff`] pinpointing the first
+//! divergent step.
+
+use std::time::Duration;
+use stormlite::{
+    Delivery, FaultPlan, Grouping, LinkFault, LinkFaultPlan, RetryConfig, SimConfig, SimRun,
+    Topology,
+};
+
+pub use stormlite::Transcript;
+
+/// The fixed simulated topology behind the golden transcripts: a 40-tuple
+/// source feeding 2 worker tasks over a lossy at-least-once wire, one
+/// seeded worker crash, and a global sink. Small enough to read by hand,
+/// rich enough to cover every transcript event kind.
+pub fn reference_run(seed: u64) -> SimRun {
+    #[derive(Clone)]
+    struct Val(u64);
+    impl stormlite::Message for Val {}
+
+    struct Double;
+    impl stormlite::Bolt<Val> for Double {
+        fn execute(&mut self, msg: Val, out: &mut stormlite::Outbox<Val>) {
+            out.emit(Val(msg.0 * 2));
+        }
+    }
+
+    let retry = RetryConfig {
+        base_timeout: Duration::from_micros(500),
+        backoff_factor: 2,
+        max_timeout: Duration::from_millis(16),
+    };
+    let mut t: Topology<Val> = Topology::new();
+    t.spout("source", (0..40u64).map(Val));
+    t.bolt("double", 2, |_| Double);
+    let _collected = t.collector("sink");
+    t.wire_with(
+        "source",
+        "double",
+        Grouping::shuffle(),
+        Delivery::AtLeastOnce(retry),
+    );
+    t.wire_with(
+        "double",
+        "sink",
+        Grouping::global(),
+        Delivery::AtLeastOnce(retry),
+    );
+    t = t
+        .with_fault_plan(FaultPlan::new().crash_seeded("double", 2, 15, seed))
+        .with_link_faults(
+            LinkFaultPlan::new(seed)
+                .lossy("source", "double", LinkFault::seeded(seed ^ 1))
+                .lossy("double", "sink", LinkFault::seeded(seed ^ 2)),
+        );
+    t.run_sim(SimConfig::seeded(seed))
+}
+
+/// Human-readable report of the first divergence between two transcripts,
+/// with three lines of context on each side; `None` when identical.
+pub fn diff(a: &Transcript, b: &Transcript) -> Option<String> {
+    let at = a.first_divergence(b)?;
+    let context = |t: &Transcript, label: &str| {
+        let lines = t.lines();
+        let lo = at.saturating_sub(3);
+        let hi = (at + 1).min(lines.len());
+        let mut s = format!("{label} (lines {lo}..{hi} of {}):\n", lines.len());
+        for (i, line) in lines.iter().enumerate().take(hi).skip(lo) {
+            let marker = if i == at { ">>" } else { "  " };
+            s.push_str(&format!("{marker} {i:5} {line}\n"));
+        }
+        s
+    };
+    Some(format!(
+        "transcripts diverge at line {at}\n{}{}",
+        context(a, "left"),
+        context(b, "right")
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_run_is_deterministic() {
+        let a = reference_run(7);
+        let b = reference_run(7);
+        assert_eq!(a.transcript.to_text(), b.transcript.to_text());
+        assert_eq!(a.report.elapsed, b.report.elapsed);
+    }
+
+    #[test]
+    fn different_seeds_diverge_and_diff_reports_where() {
+        let a = reference_run(1);
+        let b = reference_run(2);
+        let report = diff(&a.transcript, &b.transcript).expect("seeds 1/2 should diverge");
+        assert!(report.contains("diverge at line"));
+        assert!(diff(&a.transcript, &a.transcript).is_none());
+    }
+}

@@ -6,7 +6,9 @@
 //! ```
 
 use dssj::core::JoinConfig;
-use dssj::distrib::{run_distributed, DistributedJoinConfig, LocalAlgo, PartitionMethod, Strategy};
+use dssj::distrib::{
+    run_distributed, DistributedJoinConfig, LocalAlgo, PartitionMethod, Scheduler, Strategy,
+};
 use dssj::workloads::{DatasetProfile, StreamGenerator};
 
 fn main() {
@@ -47,6 +49,7 @@ fn main() {
             chaos_seed: None,
             shed_watermark: None,
             replay_buffer_cap: None,
+            scheduler: Scheduler::Threads,
         };
         let out = run_distributed(&records, &cfg);
         println!(

@@ -2,7 +2,9 @@
 
 use dssj::core::join::bistream::{merge_streams, run_bistream, BiStreamJoiner, Side};
 use dssj::core::{JoinConfig, NaiveJoiner, Threshold, Window};
-use dssj::distrib::{run_bistream_distributed, DistributedJoinConfig, LocalAlgo, Strategy};
+use dssj::distrib::{
+    run_bistream_distributed, DistributedJoinConfig, LocalAlgo, Scheduler, Strategy,
+};
 use dssj::text::Record;
 use dssj::workloads::{DatasetProfile, StreamGenerator};
 
@@ -79,6 +81,7 @@ fn bistream_window_and_prefix_strategy() {
         chaos_seed: None,
         shed_watermark: None,
         replay_buffer_cap: None,
+        scheduler: Scheduler::Threads,
     };
     let out = run_bistream_distributed(&left, &right, &cfg);
     let mut got: Vec<_> = out.pairs.iter().map(|m| m.key()).collect();

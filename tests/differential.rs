@@ -1,0 +1,157 @@
+//! Differential testing under deterministic simulation: every distributed
+//! configuration — strategy × local algorithm × window kind, with and
+//! without crashes, lossy links and load shedding — must reproduce the
+//! naive O(n²) oracle exactly when run under [`stormlite::sim`].
+//!
+//! These properties replace the former spot-check matrix in
+//! `tests/equivalence.rs` (which ran a handful of threaded combinations):
+//! simulation makes each case fully deterministic, so a failing seed here
+//! is a complete reproduction recipe, and CI sweeps seeds by exporting
+//! `PROPTEST_RNG_SEED` (see the `sim-differential` job).
+
+use dssj::core::{JoinConfig, Threshold, Window};
+use dssj::distrib::{LocalAlgo, PartitionMethod, Strategy};
+use dssj::partition::EpochConfig;
+use proptest::prelude::*;
+use testkit::{run_differential, DifferentialCase};
+
+const STRATEGIES: usize = 4;
+const LOCALS: usize = 5;
+const WINDOWS: usize = 3;
+
+fn strategy(idx: usize) -> Strategy {
+    match idx {
+        0 => Strategy::LengthAuto {
+            method: PartitionMethod::LoadAware,
+            sample: 50,
+        },
+        1 => Strategy::LengthOnline {
+            sample: 50,
+            // Aggressive epoching so repartitioning actually fires on
+            // short differential streams.
+            epoch: EpochConfig {
+                check_every: 40,
+                rebalance_factor: 1.1,
+                max_plans: 4,
+            },
+        },
+        2 => Strategy::Prefix,
+        _ => Strategy::Broadcast,
+    }
+}
+
+fn local(idx: usize) -> LocalAlgo {
+    [
+        LocalAlgo::Naive,
+        LocalAlgo::AllPairs,
+        LocalAlgo::PpJoin,
+        LocalAlgo::PpJoinPlus,
+        LocalAlgo::bundle(),
+    ][idx]
+}
+
+fn window(idx: usize) -> Window {
+    match idx {
+        0 => Window::Unbounded,
+        1 => Window::Count(60),
+        _ => Window::TimeMs(40),
+    }
+}
+
+fn case(k: usize, tau: f64, strat: usize, loc: usize, win: usize) -> DifferentialCase {
+    let join = JoinConfig {
+        threshold: Threshold::jaccard(tau),
+        window: window(win),
+    };
+    DifferentialCase::new(120, k, join, local(loc), strategy(strat))
+}
+
+/// The full configuration matrix, one simulated run each: no combination
+/// is allowed to go untested even when the randomized sweeps are unlucky.
+#[test]
+fn every_strategy_local_window_combination_matches_oracle() {
+    let mut nonempty = 0usize;
+    for strat in 0..STRATEGIES {
+        for loc in 0..LOCALS {
+            for win in 0..WINDOWS {
+                let seed = (strat * LOCALS * WINDOWS + loc * WINDOWS + win) as u64;
+                let out = run_differential(seed, &case(3, 0.7, strat, loc, win));
+                nonempty += (out.pairs > 0) as usize;
+            }
+        }
+    }
+    // Guard against the whole matrix silently degenerating to empty joins.
+    assert!(
+        nonempty > STRATEGIES * LOCALS * WINDOWS / 2,
+        "most matrix cells produced no pairs — the workload is too sparse"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random configuration, fault-free: simulated run equals the oracle.
+    #[test]
+    fn simulated_runs_match_oracle(
+        seed in 0u64..1_000_000,
+        k in 1usize..5,
+        tau in 0.55f64..0.9,
+        strat in 0usize..STRATEGIES,
+        loc in 0usize..LOCALS,
+        win in 0usize..WINDOWS,
+    ) {
+        run_differential(seed, &case(k, tau, strat, loc, win));
+    }
+
+    /// Random configuration under injected joiner crashes and/or lossy
+    /// links: recovery and at-least-once delivery must mask the faults so
+    /// the oracle still matches exactly.
+    #[test]
+    fn faulty_simulated_runs_match_oracle(
+        seed in 0u64..1_000_000,
+        k in 1usize..5,
+        tau in 0.55f64..0.9,
+        strat in 0usize..STRATEGIES,
+        loc in 0usize..LOCALS,
+        win in 0usize..WINDOWS,
+        fault in 1usize..4, // bit 0: crash, bit 1: chaos
+    ) {
+        let mut c = case(k, tau, strat, loc, win);
+        if fault & 1 != 0 {
+            c = c.with_crash();
+        }
+        if fault & 2 != 0 {
+            c = c.with_chaos();
+        }
+        run_differential(seed, &c);
+    }
+
+    /// Bi-stream joins under simulation equal the cross-side oracle.
+    #[test]
+    fn simulated_bistream_runs_match_oracle(
+        seed in 0u64..1_000_000,
+        k in 1usize..4,
+        tau in 0.55f64..0.9,
+        loc in 0usize..LOCALS,
+        win in 0usize..WINDOWS,
+    ) {
+        run_differential(seed, &case(k, tau, 0, loc, win).bistream());
+    }
+
+    /// Load shedding under simulation: the result must equal the oracle
+    /// restricted to surviving records, and shed-adjusted recall is exact.
+    #[test]
+    fn shedding_runs_match_adjusted_oracle(
+        seed in 0u64..1_000_000,
+        k in 2usize..5,
+        tau in 0.55f64..0.9,
+        loc in 0usize..LOCALS,
+        watermark in 2usize..8,
+    ) {
+        let out = run_differential(
+            seed,
+            &case(k, tau, 0, loc, 1).with_shedding(watermark),
+        );
+        prop_assert!(out.recall > 0.0 && out.recall <= 1.0);
+    }
+}

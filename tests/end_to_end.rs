@@ -3,7 +3,9 @@
 
 use dssj::core::join::run_stream;
 use dssj::core::{JoinConfig, NaiveJoiner};
-use dssj::distrib::{run_distributed, DistributedJoinConfig, LocalAlgo, PartitionMethod, Strategy};
+use dssj::distrib::{
+    run_distributed, DistributedJoinConfig, LocalAlgo, PartitionMethod, Scheduler, Strategy,
+};
 use dssj::text::{CorpusBuilder, QGramTokenizer, WordTokenizer};
 
 /// A synthetic "news wire": templated sentences with small edits, so the
@@ -70,6 +72,7 @@ fn text_pipeline_to_distributed_join() {
             chaos_seed: None,
             shed_watermark: None,
             replay_buffer_cap: None,
+            scheduler: Scheduler::Threads,
         };
         let out = run_distributed(&records, &cfg);
         let mut got: Vec<_> = out.pairs.iter().map(|m| m.key()).collect();

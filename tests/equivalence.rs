@@ -1,14 +1,15 @@
-//! Property-based equivalence: every joiner and every distribution
-//! strategy must produce exactly the naive ground-truth result set —
-//! across random workload shapes, thresholds, windows and joiner counts.
+//! Property-based equivalence of the *local* joiners: every filtered
+//! joiner must produce exactly the naive ground-truth result set across
+//! random workload shapes, thresholds and windows. Distributed
+//! configurations are covered exhaustively — under deterministic
+//! simulation, with faults — by `tests/differential.rs` and the
+//! `testkit` oracle, which replaced the spot-check matrix that used to
+//! live here.
 
 use dssj::core::join::run_stream;
 use dssj::core::{
     AllPairsJoiner, BundleConfig, BundleJoiner, JoinConfig, NaiveJoiner, PpJoinJoiner, SimFn,
     Threshold, Window,
-};
-use dssj::distrib::{
-    run_distributed, DistributedJoinConfig, LocalAlgo, PartitionMethod, Strategy as DistStrategy,
 };
 use dssj::text::Record;
 use dssj::workloads::{DatasetProfile, LengthDist, StreamGenerator};
@@ -99,96 +100,6 @@ proptest! {
         };
         let mut bj = BundleJoiner::new(cfg);
         prop_assert_eq!(sorted_keys(&run_stream(&mut bj, &records)), expect);
-    }
-
-    /// Distributed runs vs naive, random strategy/k/threshold/window.
-    #[test]
-    fn distributed_matches_naive(
-        profile in profile_strategy(),
-        seed in 0u64..10_000,
-        tau in 0.55f64..0.9,
-        k in 1usize..6,
-        strat_idx in 0usize..4,
-        local_idx in 0usize..4,
-        window_kind in 0usize..2,
-    ) {
-        let records = StreamGenerator::new(profile, seed).take_records(220);
-        let window = if window_kind == 0 { Window::Unbounded } else { Window::Count(70) };
-        let join = JoinConfig { threshold: Threshold::jaccard(tau), window };
-        let mut naive = NaiveJoiner::new(join);
-        let expect = sorted_keys(&run_stream(&mut naive, &records));
-
-        let strategy = match strat_idx {
-            0 => DistStrategy::LengthAuto { method: PartitionMethod::LoadAware, sample: 60 },
-            1 => DistStrategy::LengthAuto { method: PartitionMethod::EqualWidth, sample: 60 },
-            2 => DistStrategy::Prefix,
-            _ => DistStrategy::Broadcast,
-        };
-        let local = [
-            LocalAlgo::AllPairs,
-            LocalAlgo::PpJoin,
-            LocalAlgo::PpJoinPlus,
-            LocalAlgo::bundle(),
-        ][local_idx];
-        let cfg = DistributedJoinConfig {
-            k,
-            join,
-            local,
-            strategy,
-            channel_capacity: 64,
-            source_rate: None,
-            fault: None,
-            chaos_seed: None,
-            shed_watermark: None,
-            replay_buffer_cap: None,
-        };
-        let out = run_distributed(&records, &cfg);
-        prop_assert_eq!(sorted_keys(&out.pairs), expect);
-    }
-
-    /// Distributed bi-stream joins vs the local bi-stream reference.
-    #[test]
-    fn bistream_distributed_matches_reference(
-        profile in profile_strategy(),
-        seed in 0u64..10_000,
-        tau in 0.55f64..0.9,
-        k in 1usize..5,
-        split_mod in 2u64..4,
-    ) {
-        use dssj::core::join::bistream::{merge_streams, run_bistream, BiStreamJoiner};
-        use dssj::distrib::run_bistream_distributed;
-        let all = StreamGenerator::new(profile, seed).take_records(180);
-        let mut left = Vec::new();
-        let mut right = Vec::new();
-        for r in all {
-            if r.id().0 % split_mod == 0 {
-                left.push(r);
-            } else {
-                right.push(r);
-            }
-        }
-        let join = JoinConfig::jaccard(tau);
-        let merged = merge_streams(&left, &right);
-        let mut reference = BiStreamJoiner::new(|| NaiveJoiner::new(join));
-        let expect = sorted_keys(&run_bistream(&mut reference, &merged));
-
-        let cfg = DistributedJoinConfig {
-            k,
-            join,
-            local: LocalAlgo::bundle(),
-            strategy: DistStrategy::LengthAuto {
-                method: PartitionMethod::LoadAware,
-                sample: 50,
-            },
-            channel_capacity: 64,
-            source_rate: None,
-            fault: None,
-            chaos_seed: None,
-            shed_watermark: None,
-            replay_buffer_cap: None,
-        };
-        let out = run_bistream_distributed(&left, &right, &cfg);
-        prop_assert_eq!(sorted_keys(&out.pairs), expect);
     }
 
     /// Filters never create similarity values that differ from the naive

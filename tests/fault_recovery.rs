@@ -11,7 +11,8 @@
 use dssj::core::join::run_stream;
 use dssj::core::{JoinConfig, NaiveJoiner, Threshold, Window};
 use dssj::distrib::{
-    run_distributed, DistributedJoinConfig, LocalAlgo, PartitionMethod, Strategy as DistStrategy,
+    run_distributed, DistributedJoinConfig, LocalAlgo, PartitionMethod, Scheduler,
+    Strategy as DistStrategy,
 };
 use dssj::partition::EpochConfig;
 use dssj::stormlite::FaultPlan;
@@ -115,6 +116,7 @@ proptest! {
                     chaos_seed: None,
                     shed_watermark: None,
                     replay_buffer_cap: None,
+                    scheduler: Scheduler::Threads,
                 };
                 let out = run_distributed(&records, &cfg);
                 let got = sorted_keys(&out.pairs);
@@ -171,6 +173,7 @@ proptest! {
             chaos_seed: None,
             shed_watermark: None,
             replay_buffer_cap: None,
+            scheduler: Scheduler::Threads,
         };
         let out = run_distributed(&records, &cfg);
         prop_assert_eq!(
@@ -219,6 +222,7 @@ proptest! {
                 chaos_seed: Some(chaos_seed),
                 shed_watermark: None,
                 replay_buffer_cap: None,
+                scheduler: Scheduler::Threads,
             };
             let out = run_distributed(&records, &cfg);
             let got = sorted_keys(&out.pairs);

@@ -5,7 +5,9 @@
 
 use dssj::core::join::run_stream;
 use dssj::core::{JoinConfig, NaiveJoiner, SimFn, Threshold, Window};
-use dssj::distrib::{run_distributed, DistributedJoinConfig, LocalAlgo, PartitionMethod, Strategy};
+use dssj::distrib::{
+    run_distributed, DistributedJoinConfig, LocalAlgo, PartitionMethod, Scheduler, Strategy,
+};
 use dssj::text::{Record, RecordId, TokenId};
 
 fn rec(id: u64, toks: &[u32]) -> Record {
@@ -90,6 +92,7 @@ fn distributed_overlap_equals_naive_under_every_strategy() {
             chaos_seed: None,
             shed_watermark: None,
             replay_buffer_cap: None,
+            scheduler: Scheduler::Threads,
         };
         let out = run_distributed(&records, &dc);
         let mut got: Vec<_> = out.pairs.iter().map(|m| m.key()).collect();

@@ -4,7 +4,7 @@
 
 use dssj::core::join::run_stream;
 use dssj::core::{JoinConfig, NaiveJoiner, StreamJoiner, Threshold, Window};
-use dssj::distrib::{run_distributed, DistributedJoinConfig, LocalAlgo, Strategy};
+use dssj::distrib::{run_distributed, DistributedJoinConfig, LocalAlgo, Scheduler, Strategy};
 use dssj::text::{Record, RecordId, TokenId};
 
 fn rec(id: u64, ts: u64, toks: &[u32]) -> Record {
@@ -103,6 +103,7 @@ fn distributed_window_equals_local_window() {
                 chaos_seed: None,
                 shed_watermark: None,
                 replay_buffer_cap: None,
+                scheduler: Scheduler::Threads,
             };
             let out = run_distributed(&records, &cfg);
             let mut got: Vec<_> = out.pairs.iter().map(|m| m.key()).collect();
