@@ -81,6 +81,8 @@ fn bench_end_to_end(c: &mut Criterion) {
                     chaos_seed: None,
                     shed_watermark: None,
                     replay_buffer_cap: None,
+                    checkpoint: None,
+                    restore_from: None,
                     scheduler: Scheduler::Threads,
                 };
                 black_box(run_distributed(black_box(&records), &cfg).pairs.len())

@@ -34,6 +34,8 @@ fn cfg(scheduler: Scheduler) -> DistributedJoinConfig {
         chaos_seed: None,
         shed_watermark: None,
         replay_buffer_cap: None,
+        checkpoint: None,
+        restore_from: None,
         scheduler,
     }
 }

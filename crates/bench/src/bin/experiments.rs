@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! experiments [--n N] [--quick] [--results DIR] <id>...
-//!   ids: check t1 t2 f1 f2 f3 f4 f5 f6 f7 f8 f9 f10 f11 f12 a1 all
+//!   ids: check t1 t2 f1 f2 f3 f4 f5 f6 f7 f8 f9 f10 f11 f12 f13 f14 a1 all
 //! ```
 
 use ssj_bench::{exps, Scale};
@@ -12,7 +12,7 @@ use std::process::ExitCode;
 
 const IDS: &[&str] = &[
     "check", "t1", "t2", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "f10", "f11", "f12",
-    "f13", "a1",
+    "f13", "f14", "a1",
 ];
 
 fn usage() -> ExitCode {
@@ -84,6 +84,7 @@ fn main() -> ExitCode {
             "f11" => exps::f11(scale, &results),
             "f12" => exps::f12(scale, &results),
             "f13" => exps::f13(scale, &results),
+            "f14" => exps::f14(scale, &results),
             "a1" => exps::a1(scale, &results),
             other => {
                 eprintln!("unknown experiment id: {other}");

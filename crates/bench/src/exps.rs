@@ -49,6 +49,8 @@ fn dist_cfg(
         chaos_seed: None,
         shed_watermark: None,
         replay_buffer_cap: None,
+        checkpoint: None,
+        restore_from: None,
         scheduler: Scheduler::Threads,
     }
 }
@@ -882,6 +884,107 @@ pub fn f13(scale: Scale, results: &Path) {
         exact.to_string(),
     ]);
     t.emit(results, "f13_chaos");
+}
+
+/// F14 — recovery time and replay volume vs checkpoint interval. One
+/// seeded joiner crash per run over an unbounded window (the worst case
+/// for buffer replay: without checkpointing the replay buffer is
+/// O(stream)). As the epoch interval shrinks, committed epochs truncate
+/// the replay buffers, so the records replayed into the restarted task —
+/// and with them recovery work — drop toward O(interval), at the price of
+/// more published snapshots. Every run must still match the crash-free
+/// baseline exactly. One extra row checkpoints through the durable
+/// `FileStore` to price the disk round-trip against `MemStore`.
+pub fn f14(scale: Scale, results: &Path) {
+    use ssj_distrib::CheckpointConfig;
+
+    fn keys(out: &ssj_distrib::DistributedJoinResult) -> Vec<(u64, u64)> {
+        let mut keys: Vec<_> = out.pairs.iter().map(|m| m.key()).collect();
+        keys.sort_unstable();
+        keys
+    }
+    let n = scale.n();
+    let tau = 0.8;
+    let k = 4;
+    let join = JoinConfig {
+        threshold: Threshold::jaccard(tau),
+        window: Window::Unbounded,
+    };
+    let recs = records(&DatasetProfile::aol(), n);
+    let mut t = Table::new(
+        &format!(
+            "F14: recovery cost vs checkpoint interval, tau = {tau}, n = {n}, k = {k}, \
+             crash @ ~{}, dataset = aol",
+            n / 2
+        ),
+        &[
+            "interval",
+            "store",
+            "rps",
+            "restarts",
+            "replayed",
+            "ckpts",
+            "ckpt_bytes",
+            "ckpt_lat_us",
+            "stall_us",
+            "exact",
+        ],
+    );
+
+    let base_cfg = || dist_cfg(k, join, LocalAlgo::bundle(), length_auto(2_000));
+    let clean_keys = keys(&run_distributed(&recs, &base_cfg()));
+    let crash = || FaultPlan::new().crash_seeded("joiner", k, (n / 2) as u64, SEED);
+
+    let intervals: Vec<Option<u64>> = {
+        let mut v = vec![None];
+        let mut i = (n / 2) as u64;
+        let points = if scale.quick { 3 } else { 5 };
+        for _ in 0..points {
+            v.push(Some(i.max(1)));
+            i /= 4;
+        }
+        v
+    };
+    let mut rows = Vec::new();
+    for interval in intervals {
+        rows.push((interval, "mem"));
+    }
+    // Price the durable store at the middle interval.
+    let durable_interval = (n / 8) as u64;
+    rows.push((Some(durable_interval.max(1)), "file"));
+
+    let tmp = std::env::temp_dir().join(format!("ssj-f14-{}", std::process::id()));
+    for (interval, store) in rows {
+        let mut cfg = base_cfg();
+        cfg.fault = Some(crash());
+        cfg.checkpoint = match (interval, store) {
+            (None, _) => None,
+            (Some(i), "mem") => Some(CheckpointConfig::in_memory(i)),
+            (Some(i), _) => {
+                let dir = tmp.join(format!("interval-{i}"));
+                std::fs::create_dir_all(&dir).expect("create f14 checkpoint dir");
+                Some(CheckpointConfig::in_dir(i, &dir).expect("open f14 file store"))
+            }
+        };
+        let out = run_distributed(&recs, &cfg);
+        let exact = keys(&out) == clean_keys;
+        assert!(exact, "crash recovery diverged (interval {interval:?})");
+        let replayed: u64 = out.joiners.iter().map(|j| j.replayed).sum();
+        t.row(vec![
+            interval.map_or("off".into(), |i| i.to_string()),
+            store.into(),
+            fnum(out.throughput()),
+            out.report.total_restarts().to_string(),
+            replayed.to_string(),
+            out.report.checkpoints().to_string(),
+            out.report.checkpoint_bytes().to_string(),
+            fnum(out.report.checkpoint_latency().mean().as_secs_f64() * 1e6),
+            fnum(out.report.barrier_stall().mean().as_secs_f64() * 1e6),
+            exact.to_string(),
+        ]);
+    }
+    let _ = std::fs::remove_dir_all(&tmp);
+    t.emit(results, "f14_checkpoint");
 }
 
 /// Correctness smoke: naive vs the full distributed recommended setup on a

@@ -73,6 +73,34 @@ impl Args {
     pub fn flag(&self, key: &str) -> bool {
         self.flags.iter().any(|f| f == key)
     }
+
+    /// Whether the key appeared at all, as `--key value` or bare `--key`.
+    pub fn has(&self, key: &str) -> bool {
+        self.values.contains_key(key) || self.flag(key)
+    }
+
+    /// Rejects `--key` if it was given, explaining why the combination is
+    /// invalid. Commands use this to fail fast on incompatible flag combos
+    /// (e.g. `--shed-watermark` with bistream input) instead of tripping an
+    /// assert deep inside the join driver.
+    pub fn forbid(&self, key: &str, why: &str) -> Result<(), ArgError> {
+        if self.has(key) {
+            return Err(ArgError(format!("--{key}: {why}")));
+        }
+        Ok(())
+    }
+
+    /// Rejects `--key` unless `--requires` was also given: some flags only
+    /// make sense as a refinement of another (e.g. `--checkpoint-interval`
+    /// without `--checkpoint-dir` would silently checkpoint nowhere).
+    pub fn require_with(&self, key: &str, requires: &str) -> Result<(), ArgError> {
+        if self.has(key) && !self.has(requires) {
+            return Err(ArgError(format!(
+                "--{key} requires --{requires} to be given as well"
+            )));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -109,6 +137,36 @@ mod tests {
     #[test]
     fn positional_arguments_rejected() {
         assert!(Args::parse(&argv(&["stray"])).is_err());
+    }
+
+    #[test]
+    fn forbid_rejects_present_keys_only() {
+        let a = Args::parse(&argv(&["--shed-watermark", "4", "--verbose"])).unwrap();
+        let e = a.forbid("shed-watermark", "not valid here").unwrap_err();
+        assert!(e.to_string().contains("--shed-watermark"));
+        assert!(e.to_string().contains("not valid here"));
+        // Bare flags count as present too; absent keys pass.
+        assert!(a.forbid("verbose", "no").is_err());
+        assert!(a.forbid("chaos-seed", "no").is_ok());
+    }
+
+    #[test]
+    fn require_with_enforces_the_companion_flag() {
+        let a = Args::parse(&argv(&["--checkpoint-interval", "500"])).unwrap();
+        let e = a
+            .require_with("checkpoint-interval", "checkpoint-dir")
+            .unwrap_err();
+        assert!(e.to_string().contains("--checkpoint-dir"));
+        let b = Args::parse(&argv(&[
+            "--checkpoint-interval",
+            "500",
+            "--checkpoint-dir",
+            "/tmp/x",
+        ]))
+        .unwrap();
+        assert!(b
+            .require_with("checkpoint-interval", "checkpoint-dir")
+            .is_ok());
     }
 
     #[test]

@@ -3,8 +3,8 @@
 use crate::args::{ArgError, Args};
 use ssj_core::{JoinConfig, Threshold, Window};
 use ssj_distrib::{
-    run_bistream_distributed, run_distributed, DistributedJoinConfig, LocalAlgo, PartitionMethod,
-    Scheduler, Strategy,
+    run_bistream_distributed, run_distributed, CheckpointConfig, DistributedJoinConfig, FileStore,
+    LocalAlgo, PartitionMethod, Scheduler, SimConfig, Strategy,
 };
 use ssj_partition::{imbalance, load_aware, CostModel, LengthHistogram};
 use ssj_text::{load_lines, Corpus, QGramTokenizer, Record, WordTokenizer};
@@ -13,6 +13,7 @@ use std::error::Error;
 use std::io::Write;
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 type CliResult = Result<(), Box<dyn Error>>;
 
@@ -22,9 +23,13 @@ pub fn usage() -> ExitCode {
         "usage:
   dssj join      --input FILE [--tau T=0.8] [--algo bundle|ppjoin|allpairs]
                  [--qgram Q] [--window N] [--k K=4] [--show-pairs N=10]
-                 [--chaos-seed S] [--shed-watermark W]
+                 [--chaos-seed S] [--shed-watermark W] [--source-rate R]
+                 [--sim SEED] [--checkpoint-dir DIR [--checkpoint-interval N=1000]]
+                 [--restore-from DIR]
   dssj bistream  --left FILE --right FILE [--tau T=0.8] [--algo A] [--k K=4]
-                 [--chaos-seed S] [--shed-watermark W]
+                 [--chaos-seed S] [--source-rate R] [--sim SEED]
+                 [--checkpoint-dir DIR [--checkpoint-interval N=1000]]
+                 [--restore-from DIR]
   dssj generate  --profile aol|dblp|enron|tweet --n N --out FILE [--seed S=1]
   dssj partition --input FILE [--tau T=0.8] [--k K=8]"
     );
@@ -84,6 +89,39 @@ fn parse_opt<T: std::str::FromStr>(args: &Args, key: &str) -> Result<Option<T>, 
 
 fn dist_config(args: &Args, join: JoinConfig) -> Result<DistributedJoinConfig, ArgError> {
     let k: usize = args.get_or("k", 4)?;
+    let scheduler = match parse_opt::<u64>(args, "sim")? {
+        // Deterministic replay: the whole topology runs on the virtual
+        // clock, so wall-clock pacing is meaningless there.
+        Some(seed) => {
+            args.forbid(
+                "source-rate",
+                "paces the source on the wall clock and cannot run under --sim",
+            )?;
+            Scheduler::Sim(SimConfig::seeded(seed))
+        }
+        None => Scheduler::Threads,
+    };
+    args.require_with("checkpoint-interval", "checkpoint-dir")?;
+    let checkpoint = match args.get("checkpoint-dir") {
+        Some(dir) => {
+            let interval: u64 = args.get_or("checkpoint-interval", 1000)?;
+            if interval == 0 {
+                return Err(ArgError("--checkpoint-interval must be > 0".into()));
+            }
+            Some(
+                CheckpointConfig::in_dir(interval, Path::new(dir))
+                    .map_err(|e| ArgError(format!("--checkpoint-dir {dir}: {e}")))?,
+            )
+        }
+        None => None,
+    };
+    let restore_from = match args.get("restore-from") {
+        Some(dir) => Some(Arc::new(
+            FileStore::open(Path::new(dir))
+                .map_err(|e| ArgError(format!("--restore-from {dir}: {e}")))?,
+        ) as _),
+        None => None,
+    };
     Ok(DistributedJoinConfig {
         k,
         join,
@@ -93,7 +131,7 @@ fn dist_config(args: &Args, join: JoinConfig) -> Result<DistributedJoinConfig, A
             sample: 10_000,
         },
         channel_capacity: 1024,
-        source_rate: None,
+        source_rate: parse_opt(args, "source-rate")?,
         fault: None,
         // Chaos mode: lossy wires masked by at-least-once delivery — the
         // result set is unchanged, the cost shows up in the summary.
@@ -101,7 +139,9 @@ fn dist_config(args: &Args, join: JoinConfig) -> Result<DistributedJoinConfig, A
         // Degraded mode: shed whole records above this queue depth.
         shed_watermark: parse_opt(args, "shed-watermark")?,
         replay_buffer_cap: None,
-        scheduler: Scheduler::Threads,
+        checkpoint,
+        restore_from,
+        scheduler,
     })
 }
 
@@ -138,6 +178,18 @@ fn print_summary(out: &ssj_distrib::DistributedJoinResult) {
             out.report.shed()
         );
     }
+    if out.report.checkpoints() > 0 {
+        let latency = out.report.checkpoint_latency();
+        println!(
+            "checkpoints : {} snapshots published, {} bytes, epoch latency mean {:.0} us",
+            out.report.checkpoints(),
+            out.report.checkpoint_bytes(),
+            latency.mean().as_secs_f64() * 1e6
+        );
+    }
+    if let Some(cut) = out.restored_cut {
+        println!("restored    : resumed from checkpoint cut at record id {cut}");
+    }
 }
 
 /// `dssj join` — self-join one file of line-documents.
@@ -173,6 +225,13 @@ pub fn join(args: &Args) -> CliResult {
 
 /// `dssj bistream` — join two files against each other.
 pub fn bistream(args: &Args) -> CliResult {
+    // Shed-adjusted recall accounting is only defined for the self-join
+    // oracle; reject here instead of producing silently meaningless output.
+    args.forbid(
+        "shed-watermark",
+        "cannot be combined with bistream input (shed accounting is only \
+         defined for self-joins)",
+    )?;
     // Token ids must come from one shared dictionary and record ids must be
     // globally unique, so both files are tokenized together.
     let (left_records, right_records) =

@@ -3,6 +3,8 @@
 //! ```text
 //! dssj join      --input FILE [--tau T] [--algo bundle|ppjoin|allpairs]
 //!                [--qgram Q] [--window N] [--k K] [--show-pairs N]
+//!                [--sim SEED] [--source-rate R] [--checkpoint-dir DIR]
+//!                [--checkpoint-interval N] [--restore-from DIR]
 //! dssj bistream  --left FILE --right FILE [--tau T] [--algo ...] [--k K]
 //! dssj generate  --profile aol|dblp|enron|tweet --n N --out FILE [--seed S]
 //! dssj partition --input FILE [--tau T] [--k K]

@@ -27,6 +27,7 @@
 pub mod index;
 pub mod join;
 pub mod sim;
+pub mod snapshot;
 pub mod stats;
 pub mod verify;
 pub mod window;

@@ -1,15 +1,32 @@
 //! The three processing vertices of the join topology.
 
+use crate::checkpoint::CheckpointCoordinator;
 use crate::msg::{JoinMsg, RecordMsg};
 use crate::recovery::{RecoveryState, ReplayEntry};
 use crate::route::{token_owner, Router};
 use parking_lot::Mutex;
 use ssj_core::join::bistream::BiStreamJoiner;
+use ssj_core::snapshot::SnapshotEntry;
 use ssj_core::window::EvictionQueue;
 use ssj_core::{JoinStats, MatchPair, StreamJoiner, Threshold, Window};
 use ssj_text::{FxHashMap, Record, RecordId, TokenId};
 use std::sync::Arc;
-use stormlite::{Bolt, LatencyHistogram, Outbox};
+use stormlite::{BarrierAligner, Bolt, LatencyHistogram, Outbox};
+
+/// The dispatcher's side of checkpointing: counts dispatched records and
+/// opens an epoch (injecting one barrier per joiner wire) every
+/// [`CheckpointCoordinator::interval`] of them.
+struct DispatcherCheckpoint {
+    coordinator: Arc<CheckpointCoordinator>,
+    /// Whether routed payloads carry sides (recorded in manifests).
+    bistream: bool,
+    /// Records dispatched since the last barrier.
+    routed_since_barrier: u64,
+    /// Id of the last dispatched record — the next barrier's cut.
+    last_dispatched: Option<u64>,
+    /// Per task: last index-target id routed there (its snapshot cut).
+    cuts: Vec<Option<u64>>,
+}
 
 /// Routes each arriving record to its index/probe joiners. One task.
 pub struct DispatcherBolt<R: Router> {
@@ -21,6 +38,8 @@ pub struct DispatcherBolt<R: Router> {
     shed_watermark: Option<usize>,
     /// Ids of shed records, for exact recall accounting by the caller.
     shed_log: Arc<Mutex<Vec<u64>>>,
+    /// Barrier injection state (checkpointing runs only).
+    checkpoint: Option<DispatcherCheckpoint>,
 }
 
 impl<R: Router> DispatcherBolt<R> {
@@ -31,6 +50,7 @@ impl<R: Router> DispatcherBolt<R> {
             recovery: None,
             shed_watermark: None,
             shed_log: Arc::new(Mutex::new(Vec::new())),
+            checkpoint: None,
         }
     }
 
@@ -50,12 +70,61 @@ impl<R: Router> DispatcherBolt<R> {
         self
     }
 
+    /// Enables barrier injection every `coordinator.interval()` dispatched
+    /// records. `bistream` is recorded in each epoch's manifest so a
+    /// restore can validate topology shape.
+    pub fn with_checkpointing(
+        mut self,
+        coordinator: Option<Arc<CheckpointCoordinator>>,
+        bistream: bool,
+    ) -> Self {
+        self.checkpoint = coordinator.map(|coordinator| DispatcherCheckpoint {
+            cuts: vec![None; coordinator.k()],
+            coordinator,
+            bistream,
+            routed_since_barrier: 0,
+            last_dispatched: None,
+        });
+        self
+    }
+
     /// Buffers `payload` for replay at `task` before its index message is
     /// emitted (the ordering [`RecoveryState::buffer_index_target`]
     /// requires).
     fn buffer_for_replay(&self, task: usize, payload: &RecordMsg) {
         if let Some(recovery) = &self.recovery {
             recovery.buffer_index_target(task, ReplayEntry::from_payload(payload));
+        }
+    }
+
+    /// Checkpoint bookkeeping after a record's messages are emitted: the
+    /// record joins the current epoch, and once the interval fills the
+    /// dispatcher opens the next epoch and injects its barrier down every
+    /// joiner wire (including joiners this record skipped — every task must
+    /// publish for the epoch to commit).
+    fn note_dispatched(&mut self, id: u64, index_targets: &[usize], out: &mut Outbox<JoinMsg>) {
+        let Some(cp) = &mut self.checkpoint else {
+            return;
+        };
+        cp.last_dispatched = Some(id);
+        for &t in index_targets {
+            cp.cuts[t] = Some(id);
+        }
+        cp.routed_since_barrier += 1;
+        if cp.routed_since_barrier < cp.coordinator.interval() {
+            return;
+        }
+        cp.routed_since_barrier = 0;
+        let injected_at = out.now();
+        let epoch = cp.coordinator.begin_epoch(
+            injected_at,
+            cp.last_dispatched.expect("set just above"),
+            cp.cuts.clone(),
+            cp.bistream,
+            self.router.length_partition().cloned(),
+        );
+        for t in 0..cp.cuts.len() {
+            out.emit_direct(t, JoinMsg::Barrier { epoch, injected_at });
         }
     }
 }
@@ -73,6 +142,20 @@ impl<R: Router> Bolt<JoinMsg> for DispatcherBolt<R> {
             side: incoming.side,
         };
         let decision = self.router.route(&payload.record);
+        if matches!(msg, JoinMsg::Index(_)) {
+            // Restore re-dispatch: the driver replays a checkpoint's window
+            // as index-only source tuples. They rebuild joiner state through
+            // the current router — no probes (their results already exist),
+            // no shedding (they are state, not load) — and join the current
+            // epoch like any dispatched record, so a barrier mid-restore
+            // still cuts a consistent prefix.
+            for &ix in &decision.index {
+                self.buffer_for_replay(ix, &payload);
+                out.emit_direct(ix, JoinMsg::Index(payload.clone()));
+            }
+            self.note_dispatched(payload.record.id().0, &decision.index, out);
+            return;
+        }
         if let Some(watermark) = self.shed_watermark {
             // Overload check: deepest downstream queue among this record's
             // targets. Shedding happens *before* any emit or replay
@@ -114,6 +197,7 @@ impl<R: Router> Bolt<JoinMsg> for DispatcherBolt<R> {
         for &p in probe_iter {
             out.emit_direct(p, JoinMsg::Probe(payload.clone()));
         }
+        self.note_dispatched(payload.record.id().0, &decision.index, out);
     }
 }
 
@@ -195,6 +279,10 @@ pub struct JoinerSnapshot {
     /// Replay-buffer entries evicted by the buffer cap before expiry —
     /// nonzero means a restart may have restored less than its full window.
     pub replay_overflow: u64,
+    /// The checkpoint epoch the surviving incarnation restored its window
+    /// from, if it came up after a crash with a complete epoch available
+    /// (`None` = fresh start or plain buffer replay).
+    pub restored_from_epoch: Option<u64>,
 }
 
 /// The joiner's local state: one index for self-joins, a pair of indexes
@@ -237,6 +325,19 @@ impl LocalState {
         }
     }
 
+    /// The in-window records this joiner holds, as checkpoint snapshot
+    /// entries in ascending id order.
+    fn window_snapshot(&self) -> Vec<SnapshotEntry> {
+        match self {
+            LocalState::Solo(j) => j.window_snapshot().into_iter().map(|r| (None, r)).collect(),
+            LocalState::Bi(j) => j
+                .window_snapshot()
+                .into_iter()
+                .map(|(side, r)| (Some(side), r))
+                .collect(),
+        }
+    }
+
     fn snapshot(&mut self, task: usize) -> JoinerSnapshot {
         match self {
             LocalState::Solo(j) => JoinerSnapshot {
@@ -247,6 +348,7 @@ impl LocalState {
                 incarnation: 0,
                 replayed: 0,
                 replay_overflow: 0,
+                restored_from_epoch: None,
             },
             LocalState::Bi(j) => {
                 let stored = j.stored();
@@ -259,6 +361,7 @@ impl LocalState {
                     incarnation: 0,
                     replayed: 0,
                     replay_overflow: 0,
+                    restored_from_epoch: None,
                 }
             }
         }
@@ -274,7 +377,12 @@ pub struct JoinerBolt {
     buf: Vec<MatchPair>,
     snapshots: Arc<Mutex<Vec<JoinerSnapshot>>>,
     recovery: Option<Arc<RecoveryState>>,
+    coordinator: Option<Arc<CheckpointCoordinator>>,
+    /// The dispatcher is this joiner's single upstream, so barriers align
+    /// on first sight — the aligner still guards the general invariant.
+    aligner: BarrierAligner,
     incarnation: u64,
+    restored_from_epoch: Option<u64>,
 }
 
 impl JoinerBolt {
@@ -284,6 +392,7 @@ impl JoinerBolt {
         task: usize,
         snapshots: Arc<Mutex<Vec<JoinerSnapshot>>>,
         recovery: Option<Arc<RecoveryState>>,
+        coordinator: Option<Arc<CheckpointCoordinator>>,
     ) -> Self {
         let dedup = dedup_cfg.map(|(threshold, window, k)| PrefixDedup {
             threshold,
@@ -300,16 +409,23 @@ impl JoinerBolt {
             buf: Vec::new(),
             snapshots,
             recovery,
+            coordinator,
+            aligner: BarrierAligner::new(1),
             incarnation: 0,
+            restored_from_epoch: None,
         };
         bolt.replay_lost_state();
         bolt
     }
 
     /// Crash recovery: a restarted incarnation rebuilds the index state its
-    /// predecessor lost by replaying the buffered in-window index targets
-    /// up to the processing watermark (see [`crate::recovery`]). Index-only
-    /// — replay re-emits nothing, so no result pair is duplicated.
+    /// predecessor lost. With checkpointing, the bulk comes from the latest
+    /// complete epoch's snapshot; the replay buffer — truncated at every
+    /// commit to entries after the snapshot cut, so the two never overlap —
+    /// covers only the uncheckpointed tail, bounding replay work by the
+    /// checkpoint interval instead of the window size. Both paths are
+    /// index-only: restore re-emits nothing, so no result pair is
+    /// duplicated.
     fn replay_lost_state(&mut self) {
         let Some(recovery) = &self.recovery else {
             return;
@@ -318,7 +434,27 @@ impl JoinerBolt {
         if self.incarnation == 0 {
             return;
         }
-        let entries = recovery.replay_for(self.task);
+        // Snapshot and replay-buffer suffix must be captured atomically
+        // with respect to epoch commits: a commit between the two reads
+        // would truncate the buffer past the (older) snapshot being
+        // restored, silently dropping the records between the two cuts.
+        let (snapshot, entries) = match &self.coordinator {
+            Some(c) => c.restore_and_replay_for(self.task),
+            None => (None, recovery.replay_for(self.task)),
+        };
+        if let Some((epoch, snapshot)) = snapshot {
+            self.restored_from_epoch = Some(epoch);
+            let restored: Vec<ReplayEntry> = snapshot
+                .into_iter()
+                .map(|(side, record)| ReplayEntry { record, side })
+                .collect();
+            self.local.restore(&restored);
+            if let Some(d) = &mut self.dedup {
+                for e in &restored {
+                    d.on_index(&e.record);
+                }
+            }
+        }
         self.local.restore(&entries);
         if let Some(d) = &mut self.dedup {
             for e in &entries {
@@ -329,13 +465,15 @@ impl JoinerBolt {
 
     /// A self-join joiner bolt. `dedup_cfg` must be provided exactly when
     /// the router replicates records (`Router::needs_result_dedup`);
-    /// `recovery` exactly when the run injects faults.
+    /// `recovery` exactly when the run injects faults or checkpoints;
+    /// `coordinator` exactly when the run checkpoints.
     pub fn new(
         joiner: Box<dyn StreamJoiner + Send>,
         dedup_cfg: Option<(Threshold, Window, usize)>,
         task: usize,
         snapshots: Arc<Mutex<Vec<JoinerSnapshot>>>,
         recovery: Option<Arc<RecoveryState>>,
+        coordinator: Option<Arc<CheckpointCoordinator>>,
     ) -> Self {
         Self::with_state(
             LocalState::Solo(joiner),
@@ -343,6 +481,7 @@ impl JoinerBolt {
             task,
             snapshots,
             recovery,
+            coordinator,
         )
     }
 
@@ -353,6 +492,7 @@ impl JoinerBolt {
         task: usize,
         snapshots: Arc<Mutex<Vec<JoinerSnapshot>>>,
         recovery: Option<Arc<RecoveryState>>,
+        coordinator: Option<Arc<CheckpointCoordinator>>,
     ) -> Self {
         Self::with_state(
             LocalState::Bi(BiStreamJoiner::new(factory)),
@@ -360,6 +500,7 @@ impl JoinerBolt {
             task,
             snapshots,
             recovery,
+            coordinator,
         )
     }
 
@@ -411,6 +552,27 @@ impl Bolt<JoinMsg> for JoinerBolt {
                 self.insert(&payload);
             }
             JoinMsg::Result { .. } => unreachable!("joiners do not receive results"),
+            JoinMsg::Barrier { epoch, injected_at } => {
+                // Alignment stall: how long the barrier sat behind data in
+                // this joiner's queue before the snapshot could be cut.
+                out.record_barrier_stall(out.now().saturating_since(injected_at));
+                if self.aligner.observe(epoch) {
+                    let coordinator = self
+                        .coordinator
+                        .as_ref()
+                        .expect("barrier received without a checkpoint coordinator");
+                    let entries = self.local.window_snapshot();
+                    let outcome = coordinator.publish(epoch, self.task, &entries);
+                    out.record_checkpoint(outcome.bytes);
+                    if outcome.completed {
+                        // Epoch latency, charged to the task that closed
+                        // it: barrier injection to durable commit.
+                        out.record_checkpoint_latency(
+                            out.now().saturating_since(outcome.injected_at),
+                        );
+                    }
+                }
+            }
         }
         // Watermark last: published only once the record's effects (results
         // emitted, index updated) are fully visible.
@@ -422,6 +584,7 @@ impl Bolt<JoinMsg> for JoinerBolt {
     fn finish(&mut self, _out: &mut Outbox<JoinMsg>) {
         let mut snapshot = self.local.snapshot(self.task);
         snapshot.incarnation = self.incarnation;
+        snapshot.restored_from_epoch = self.restored_from_epoch;
         if let Some(recovery) = &self.recovery {
             snapshot.replayed = recovery.replayed(self.task);
             snapshot.replay_overflow = recovery.overflowed(self.task);

@@ -1,0 +1,839 @@
+//! Epoch-based coordinated checkpointing: durable snapshots and bounded
+//! replay.
+//!
+//! The dispatcher periodically injects a [`JoinMsg::Barrier`] control
+//! tuple down every joiner wire (one barrier per *epoch*, every
+//! [`CheckpointConfig::interval`] dispatched records). Barriers ride the
+//! same FIFO channels as data, so when a joiner sees the epoch-`e` barrier
+//! its local state reflects exactly the records dispatched before the
+//! barrier — a Chandy–Lamport consistent cut, with no stop-the-world
+//! pause. The joiner captures its
+//! [`window_snapshot`](ssj_core::StreamJoiner::window_snapshot), publishes
+//! it to the run's [`SnapshotStore`], and moves on.
+//!
+//! The [`CheckpointCoordinator`] tracks which of the `k` tasks have
+//! published for each in-flight epoch. When the last one lands, the epoch
+//! **commits**: the manifest (cut id, topology shape, routing partition)
+//! is written atomically, and every task's replay buffer is truncated to
+//! entries *after* its snapshot cut
+//! ([`RecoveryState::commit_snapshot`]) — post-crash replay becomes
+//! O(epoch interval) even under [`Window::Unbounded`](ssj_core::Window),
+//! and a capped buffer sized above the interval can no longer overflow.
+//!
+//! Two stores are provided: [`MemStore`] (tests, simulation) and
+//! [`FileStore`] (epoch-stamped snapshot files encoded with the `ssj-text`
+//! record codec via [`ssj_core::snapshot`]). A whole-process restart
+//! rebuilds a topology from the latest complete checkpoint through
+//! [`load_latest`] and the driver's `restore_from` path.
+//!
+//! [`JoinMsg::Barrier`]: crate::msg::JoinMsg::Barrier
+//! [`RecoveryState::commit_snapshot`]: crate::recovery::RecoveryState::commit_snapshot
+
+use crate::recovery::RecoveryState;
+use parking_lot::Mutex;
+use ssj_core::snapshot::{decode_window_slice, encode_window_vec, SnapshotEntry};
+use ssj_partition::LengthPartition;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use stormlite::Timestamp;
+
+/// Durable storage for checkpoint snapshots, pluggable per run.
+///
+/// `part` names one task's slice of an epoch (`"joiner-3"`). An epoch is
+/// *complete* only once [`commit`](Self::commit) has recorded its
+/// manifest; readers must ignore parts of uncommitted epochs (a crash may
+/// leave them behind).
+pub trait SnapshotStore: fmt::Debug + Send + Sync {
+    /// Persists one part of an epoch's checkpoint, overwriting any
+    /// previous attempt.
+    fn put(&self, epoch: u64, part: &str, bytes: &[u8]) -> io::Result<()>;
+
+    /// Reads one part of an epoch's checkpoint.
+    fn get(&self, epoch: u64, part: &str) -> io::Result<Option<Vec<u8>>>;
+
+    /// Atomically marks `epoch` complete by recording its manifest. After
+    /// this returns, a crashed process may restore from `epoch`.
+    fn commit(&self, epoch: u64, manifest: &[u8]) -> io::Result<()>;
+
+    /// The newest epoch with a committed manifest, if any.
+    fn latest_complete(&self) -> io::Result<Option<u64>>;
+
+    /// The manifest of a committed epoch.
+    fn manifest(&self, epoch: u64) -> io::Result<Option<Vec<u8>>>;
+}
+
+/// In-memory [`SnapshotStore`] for tests and simulation. Shareable across
+/// a "crashed" and a "restored" run via [`Arc`] to model a durable medium.
+#[derive(Debug, Default)]
+pub struct MemStore {
+    parts: Mutex<BTreeMap<(u64, String), Vec<u8>>>,
+    manifests: Mutex<BTreeMap<u64, Vec<u8>>>,
+}
+
+impl MemStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SnapshotStore for MemStore {
+    fn put(&self, epoch: u64, part: &str, bytes: &[u8]) -> io::Result<()> {
+        self.parts
+            .lock()
+            .insert((epoch, part.to_owned()), bytes.to_vec());
+        Ok(())
+    }
+
+    fn get(&self, epoch: u64, part: &str) -> io::Result<Option<Vec<u8>>> {
+        Ok(self.parts.lock().get(&(epoch, part.to_owned())).cloned())
+    }
+
+    fn commit(&self, epoch: u64, manifest: &[u8]) -> io::Result<()> {
+        self.manifests.lock().insert(epoch, manifest.to_vec());
+        Ok(())
+    }
+
+    fn latest_complete(&self) -> io::Result<Option<u64>> {
+        Ok(self.manifests.lock().keys().next_back().copied())
+    }
+
+    fn manifest(&self, epoch: u64) -> io::Result<Option<Vec<u8>>> {
+        Ok(self.manifests.lock().get(&epoch).cloned())
+    }
+}
+
+/// File-backed [`SnapshotStore`]: one `epoch-<e>` directory per epoch,
+/// one `<part>.snap` file per task, and a `MANIFEST` file whose
+/// write-then-rename creation is the atomic commit point.
+#[derive(Debug)]
+pub struct FileStore {
+    dir: PathBuf,
+}
+
+impl FileStore {
+    /// Opens (creating if needed) a snapshot directory.
+    ///
+    /// # Errors
+    /// Fails if the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Self { dir })
+    }
+
+    /// The directory this store persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn epoch_dir(&self, epoch: u64) -> PathBuf {
+        self.dir.join(format!("epoch-{epoch}"))
+    }
+}
+
+impl SnapshotStore for FileStore {
+    fn put(&self, epoch: u64, part: &str, bytes: &[u8]) -> io::Result<()> {
+        let dir = self.epoch_dir(epoch);
+        fs::create_dir_all(&dir)?;
+        let mut f = fs::File::create(dir.join(format!("{part}.snap")))?;
+        f.write_all(bytes)?;
+        f.sync_all()
+    }
+
+    fn get(&self, epoch: u64, part: &str) -> io::Result<Option<Vec<u8>>> {
+        let path = self.epoch_dir(epoch).join(format!("{part}.snap"));
+        match fs::File::open(&path) {
+            Ok(mut f) => {
+                let mut buf = Vec::new();
+                f.read_to_end(&mut buf)?;
+                Ok(Some(buf))
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn commit(&self, epoch: u64, manifest: &[u8]) -> io::Result<()> {
+        let dir = self.epoch_dir(epoch);
+        fs::create_dir_all(&dir)?;
+        let tmp = dir.join("MANIFEST.tmp");
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(manifest)?;
+            f.sync_all()?;
+        }
+        // The rename is the commit point: MANIFEST either exists complete
+        // or not at all, so a crash mid-checkpoint is indistinguishable
+        // from never having started the epoch.
+        fs::rename(&tmp, dir.join("MANIFEST"))
+    }
+
+    fn latest_complete(&self) -> io::Result<Option<u64>> {
+        let mut latest = None;
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(epoch) = name
+                .to_str()
+                .and_then(|n| n.strip_prefix("epoch-"))
+                .and_then(|e| e.parse::<u64>().ok())
+            else {
+                continue;
+            };
+            if entry.path().join("MANIFEST").is_file() {
+                latest = latest.max(Some(epoch));
+            }
+        }
+        Ok(latest)
+    }
+
+    fn manifest(&self, epoch: u64) -> io::Result<Option<Vec<u8>>> {
+        let path = self.epoch_dir(epoch).join("MANIFEST");
+        match fs::read(&path) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// What a committed epoch's manifest records: enough to validate and
+/// rebuild a topology from the snapshot alone.
+///
+/// Binary layout (all little-endian):
+///
+/// ```text
+/// magic u32 = 0x4d57_4e53 ("SNWM")  version u32 = 1
+/// epoch u64   cut_id u64   k u64   bistream u8   has_partition u8
+/// [count u32, count × upper u64]       (iff has_partition = 1)
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// The epoch this manifest commits.
+    pub epoch: u64,
+    /// Id of the last record dispatched before the barrier: the snapshot
+    /// is exactly the in-window state of the id-prefix `..= cut_id`.
+    pub cut_id: u64,
+    /// Joiner parallelism of the checkpointed topology.
+    pub k: usize,
+    /// Whether the run was a bi-stream (R–S) join.
+    pub bistream: bool,
+    /// The length partition routing was using at the cut, for strategies
+    /// that have one — a restored run resumes with it rather than
+    /// recalibrating on post-cut records.
+    pub partition: Option<LengthPartition>,
+}
+
+const MANIFEST_MAGIC: u32 = 0x4d57_4e53;
+const MANIFEST_VERSION: u32 = 1;
+
+impl Manifest {
+    /// Serializes the manifest.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(34);
+        out.extend_from_slice(&MANIFEST_MAGIC.to_le_bytes());
+        out.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(&self.cut_id.to_le_bytes());
+        out.extend_from_slice(&(self.k as u64).to_le_bytes());
+        out.push(u8::from(self.bistream));
+        out.push(u8::from(self.partition.is_some()));
+        if let Some(p) = &self.partition {
+            let uppers = p.uppers();
+            out.extend_from_slice(&(uppers.len() as u32).to_le_bytes());
+            for &u in uppers {
+                out.extend_from_slice(&(u as u64).to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Deserializes a manifest, validating magic and version.
+    ///
+    /// # Errors
+    /// Fails on truncation, a bad magic, or an unknown version.
+    pub fn decode(bytes: &[u8]) -> io::Result<Self> {
+        fn bad(msg: &str) -> io::Error {
+            io::Error::new(io::ErrorKind::InvalidData, format!("manifest: {msg}"))
+        }
+        let take = |range: std::ops::Range<usize>| -> io::Result<&[u8]> {
+            bytes.get(range).ok_or_else(|| bad("truncated"))
+        };
+        let u32_at = |at: usize| -> io::Result<u32> {
+            Ok(u32::from_le_bytes(take(at..at + 4)?.try_into().unwrap()))
+        };
+        let u64_at = |at: usize| -> io::Result<u64> {
+            Ok(u64::from_le_bytes(take(at..at + 8)?.try_into().unwrap()))
+        };
+        if u32_at(0)? != MANIFEST_MAGIC {
+            return Err(bad("bad magic"));
+        }
+        if u32_at(4)? != MANIFEST_VERSION {
+            return Err(bad("unknown version"));
+        }
+        let epoch = u64_at(8)?;
+        let cut_id = u64_at(16)?;
+        let k = u64_at(24)? as usize;
+        let bistream = match take(32..33)?[0] {
+            0 => false,
+            1 => true,
+            _ => return Err(bad("bad bistream flag")),
+        };
+        let partition = match take(33..34)?[0] {
+            0 => None,
+            1 => {
+                let count = u32_at(34)? as usize;
+                let mut uppers = Vec::with_capacity(count);
+                for i in 0..count {
+                    uppers.push(u64_at(38 + 8 * i)? as usize);
+                }
+                Some(LengthPartition::from_uppers(uppers))
+            }
+            _ => return Err(bad("bad partition flag")),
+        };
+        Ok(Self {
+            epoch,
+            cut_id,
+            k,
+            bistream,
+            partition,
+        })
+    }
+}
+
+/// Configuration of checkpointing for one run.
+#[derive(Clone)]
+pub struct CheckpointConfig {
+    /// Dispatch a barrier every this many routed records. The replay
+    /// buffer, the replay volume after a crash, and the data at risk in a
+    /// whole-process failure are all bounded by roughly this many records.
+    pub interval: u64,
+    /// Where snapshots and manifests are persisted.
+    pub store: Arc<dyn SnapshotStore>,
+}
+
+impl CheckpointConfig {
+    /// Checkpoints every `interval` records into a fresh [`MemStore`].
+    ///
+    /// # Panics
+    /// Panics if `interval` is zero.
+    pub fn in_memory(interval: u64) -> Self {
+        Self::new(interval, Arc::new(MemStore::new()))
+    }
+
+    /// Checkpoints every `interval` records into `store`.
+    ///
+    /// # Panics
+    /// Panics if `interval` is zero.
+    pub fn new(interval: u64, store: Arc<dyn SnapshotStore>) -> Self {
+        assert!(interval >= 1, "a zero checkpoint interval never settles");
+        Self { interval, store }
+    }
+
+    /// Checkpoints every `interval` records into a [`FileStore`] at `dir`.
+    ///
+    /// # Errors
+    /// Fails if the directory cannot be created.
+    ///
+    /// # Panics
+    /// Panics if `interval` is zero.
+    pub fn in_dir(interval: u64, dir: impl Into<PathBuf>) -> io::Result<Self> {
+        Ok(Self::new(interval, Arc::new(FileStore::open(dir)?)))
+    }
+}
+
+impl fmt::Debug for CheckpointConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CheckpointConfig")
+            .field("interval", &self.interval)
+            .field("store", &self.store)
+            .finish()
+    }
+}
+
+/// What publishing one snapshot part did.
+#[derive(Debug, Clone, Copy)]
+pub struct PublishOutcome {
+    /// Serialized size of the published snapshot.
+    pub bytes: u64,
+    /// `true` iff this publication completed (committed) the epoch.
+    pub completed: bool,
+    /// When the epoch's barrier was injected (for latency accounting).
+    pub injected_at: Timestamp,
+}
+
+/// One in-flight epoch awaiting snapshots.
+#[derive(Debug)]
+struct Inflight {
+    manifest: Manifest,
+    /// Per task: id of the last index-target record routed there before
+    /// the barrier (`None` = task held nothing of this prefix).
+    cuts: Vec<Option<u64>>,
+    injected_at: Timestamp,
+    /// Tasks yet to publish.
+    pending: usize,
+}
+
+#[derive(Debug)]
+struct CoordInner {
+    next_epoch: u64,
+    inflight: BTreeMap<u64, Inflight>,
+    latest_complete: Option<u64>,
+    epochs_committed: u64,
+}
+
+/// Shared epoch bookkeeping between the dispatcher (which opens epochs)
+/// and the joiners (which publish snapshots into them).
+#[derive(Debug)]
+pub struct CheckpointCoordinator {
+    k: usize,
+    interval: u64,
+    store: Arc<dyn SnapshotStore>,
+    recovery: Arc<RecoveryState>,
+    inner: Mutex<CoordInner>,
+}
+
+impl CheckpointCoordinator {
+    /// A coordinator for `k` joiner tasks, committing into `cfg.store`
+    /// and truncating `recovery`'s replay buffers on every commit. Epoch
+    /// numbering continues after whatever the store already holds, so
+    /// restarting into a used [`FileStore`] directory never collides with
+    /// prior checkpoints.
+    ///
+    /// # Errors
+    /// Fails if the store cannot report its latest complete epoch.
+    pub fn new(k: usize, cfg: &CheckpointConfig, recovery: Arc<RecoveryState>) -> io::Result<Self> {
+        assert_eq!(recovery.k(), k, "recovery state and topology disagree on k");
+        let next_epoch = cfg.store.latest_complete()?.map_or(1, |e| e + 1);
+        Ok(Self {
+            k,
+            interval: cfg.interval,
+            store: Arc::clone(&cfg.store),
+            recovery,
+            inner: Mutex::new(CoordInner {
+                next_epoch,
+                inflight: BTreeMap::new(),
+                latest_complete: None,
+                epochs_committed: 0,
+            }),
+        })
+    }
+
+    /// Records between barriers.
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// Joiner tasks per epoch.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Dispatcher side: opens a new epoch at a consistent cut. `cut_id` is
+    /// the id of the last record dispatched before the barrier; `cuts[t]`
+    /// the last *index-target* id routed to task `t` (what its snapshot
+    /// will cover). Returns the epoch number to stamp on the barrier.
+    pub fn begin_epoch(
+        &self,
+        injected_at: Timestamp,
+        cut_id: u64,
+        cuts: Vec<Option<u64>>,
+        bistream: bool,
+        partition: Option<LengthPartition>,
+    ) -> u64 {
+        assert_eq!(cuts.len(), self.k, "one cut per joiner task");
+        let mut inner = self.inner.lock();
+        let epoch = inner.next_epoch;
+        inner.next_epoch += 1;
+        let manifest = Manifest {
+            epoch,
+            cut_id,
+            k: self.k,
+            bistream,
+            partition,
+        };
+        inner.inflight.insert(
+            epoch,
+            Inflight {
+                manifest,
+                cuts,
+                injected_at,
+                pending: self.k,
+            },
+        );
+        epoch
+    }
+
+    /// Joiner side: publishes `task`'s window snapshot for `epoch`. When
+    /// the last task publishes, the epoch commits: the manifest is written
+    /// atomically and every task's replay buffer is truncated to entries
+    /// after its cut.
+    ///
+    /// # Panics
+    /// Panics on an unknown epoch (a barrier the dispatcher never
+    /// opened — FIFO wires make that a protocol violation, not an
+    /// environmental failure) or if the store fails (checkpointing to a
+    /// broken store must be loud, never silently skipped).
+    pub fn publish(&self, epoch: u64, task: usize, entries: &[SnapshotEntry]) -> PublishOutcome {
+        let bytes = encode_window_vec(entries).expect("window snapshots are always encodable");
+        self.store
+            .put(epoch, &part_name(task), &bytes)
+            .expect("snapshot store write failed");
+        let mut inner = self.inner.lock();
+        let inflight = inner
+            .inflight
+            .get_mut(&epoch)
+            .expect("barrier for an unopened epoch");
+        assert!(inflight.pending > 0, "epoch over-published");
+        inflight.pending -= 1;
+        let injected_at = inflight.injected_at;
+        if inflight.pending > 0 {
+            return PublishOutcome {
+                bytes: bytes.len() as u64,
+                completed: false,
+                injected_at,
+            };
+        }
+        let done = inner.inflight.remove(&epoch).expect("present above");
+        self.store
+            .commit(epoch, &done.manifest.encode())
+            .expect("snapshot store commit failed");
+        inner.latest_complete = Some(epoch);
+        inner.epochs_committed += 1;
+        // The snapshot now covers each task's state up to its cut: replay
+        // after a crash starts from the snapshot, so the buffered prefix
+        // is dead weight. Truncation MUST happen while `inner` is still
+        // held: [`Self::restore_and_replay_for`] reads (latest epoch,
+        // replay buffer) under the same lock, and a commit slipping
+        // between a restarting joiner's two reads would truncate records
+        // the restored (older) snapshot does not cover — losing them.
+        for (t, cut) in done.cuts.iter().enumerate() {
+            self.recovery.commit_snapshot(t, *cut);
+        }
+        drop(inner);
+        PublishOutcome {
+            bytes: bytes.len() as u64,
+            completed: true,
+            injected_at,
+        }
+    }
+
+    /// Joiner side, on restart: the snapshot to restore `task` from — the
+    /// latest epoch committed *in this run* — or `None` before the first
+    /// commit (plain buffer replay then covers everything).
+    ///
+    /// # Panics
+    /// Panics if the store lost a committed snapshot.
+    pub fn restore_for(&self, task: usize) -> Option<(u64, Vec<SnapshotEntry>)> {
+        let epoch = self.inner.lock().latest_complete?;
+        Some(self.fetch(epoch, task))
+    }
+
+    /// Joiner side, on restart: atomically pairs the latest committed
+    /// snapshot with the replay-buffer suffix it does *not* cover. The
+    /// two are read under the coordinator lock so no epoch can commit —
+    /// and truncate the buffer past the snapshot being restored — between
+    /// the reads; with the lock released in between, records landing in
+    /// the gap between two cuts would be lost.
+    pub fn restore_and_replay_for(
+        &self,
+        task: usize,
+    ) -> (
+        Option<(u64, Vec<SnapshotEntry>)>,
+        Vec<crate::recovery::ReplayEntry>,
+    ) {
+        let inner = self.inner.lock();
+        let snapshot = inner.latest_complete.map(|epoch| self.fetch(epoch, task));
+        let replay = self.recovery.replay_for(task);
+        drop(inner);
+        (snapshot, replay)
+    }
+
+    fn fetch(&self, epoch: u64, task: usize) -> (u64, Vec<SnapshotEntry>) {
+        let bytes = self
+            .store
+            .get(epoch, &part_name(task))
+            .expect("snapshot store read failed")
+            .expect("committed epoch lost a part");
+        let entries = decode_window_slice(&bytes).expect("committed snapshot corrupt");
+        (epoch, entries)
+    }
+
+    /// Epochs committed by this coordinator (not counting pre-existing
+    /// checkpoints in the store).
+    pub fn epochs_committed(&self) -> u64 {
+        self.inner.lock().epochs_committed
+    }
+
+    /// The newest epoch committed by this coordinator.
+    pub fn latest_complete(&self) -> Option<u64> {
+        self.inner.lock().latest_complete
+    }
+}
+
+fn part_name(task: usize) -> String {
+    format!("joiner-{task}")
+}
+
+/// A fully-loaded complete checkpoint: the manifest plus the union of all
+/// task snapshots, deduplicated by record id and sorted into global
+/// arrival order — the whole topology's live window at the cut.
+#[derive(Debug, Clone)]
+pub struct CheckpointImage {
+    /// The committed epoch this image was loaded from.
+    pub epoch: u64,
+    /// Records with id ≤ `cut_id` are covered by the image; a restored
+    /// run feeds only ids beyond it.
+    pub cut_id: u64,
+    /// Joiner parallelism at checkpoint time.
+    pub k: usize,
+    /// Whether the checkpointed run was a bi-stream join.
+    pub bistream: bool,
+    /// The routing partition at the cut, if the strategy had one.
+    pub partition: Option<LengthPartition>,
+    /// The global in-window record set at the cut, in ascending id order.
+    pub window: Vec<SnapshotEntry>,
+}
+
+/// Loads the latest complete checkpoint from `store`, or `None` if no
+/// epoch ever committed.
+///
+/// Replicating strategies store one record at several joiners; the union
+/// is deduplicated by id (windows are judged per record, so every copy is
+/// identical) and re-sorted into arrival order, ready to re-dispatch
+/// through a fresh router.
+///
+/// # Errors
+/// Fails on store I/O errors, a corrupt manifest or snapshot, or a
+/// committed epoch missing one of its parts.
+pub fn load_latest(store: &dyn SnapshotStore) -> io::Result<Option<CheckpointImage>> {
+    let Some(epoch) = store.latest_complete()? else {
+        return Ok(None);
+    };
+    let manifest_bytes = store.manifest(epoch)?.ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("epoch {epoch} reported complete but has no manifest"),
+        )
+    })?;
+    let manifest = Manifest::decode(&manifest_bytes)?;
+    let mut window: BTreeMap<u64, SnapshotEntry> = BTreeMap::new();
+    for task in 0..manifest.k {
+        let bytes = store.get(epoch, &part_name(task))?.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("complete epoch {epoch} is missing part {}", part_name(task)),
+            )
+        })?;
+        for (side, record) in decode_window_slice(&bytes)? {
+            window.insert(record.id().0, (side, record));
+        }
+    }
+    Ok(Some(CheckpointImage {
+        epoch: manifest.epoch,
+        cut_id: manifest.cut_id,
+        k: manifest.k,
+        bistream: manifest.bistream,
+        partition: manifest.partition,
+        window: window.into_values().collect(),
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssj_core::join::bistream::Side;
+    use ssj_core::Window;
+    use ssj_text::{Record, RecordId, TokenId};
+
+    fn rec(id: u64) -> Record {
+        Record::from_sorted(RecordId(id), id, vec![TokenId(id as u32 + 1)])
+    }
+
+    fn entries(ids: &[u64]) -> Vec<SnapshotEntry> {
+        ids.iter().map(|&id| (None, rec(id))).collect()
+    }
+
+    fn roundtrip_store(store: &dyn SnapshotStore) {
+        assert_eq!(store.latest_complete().unwrap(), None);
+        store.put(1, "joiner-0", b"zero").unwrap();
+        store.put(1, "joiner-1", b"one").unwrap();
+        // Uncommitted epochs are invisible to completeness queries.
+        assert_eq!(store.latest_complete().unwrap(), None);
+        assert_eq!(store.manifest(1).unwrap(), None);
+        store.commit(1, b"manifest-1").unwrap();
+        assert_eq!(store.latest_complete().unwrap(), Some(1));
+        assert_eq!(store.get(1, "joiner-0").unwrap().unwrap(), b"zero");
+        assert_eq!(store.get(1, "joiner-2").unwrap(), None);
+        assert_eq!(store.manifest(1).unwrap().unwrap(), b"manifest-1");
+        // A later epoch supersedes.
+        store.put(3, "joiner-0", b"three").unwrap();
+        store.commit(3, b"manifest-3").unwrap();
+        assert_eq!(store.latest_complete().unwrap(), Some(3));
+        // Overwriting a part is allowed (retried checkpoint attempt).
+        store.put(3, "joiner-0", b"three-again").unwrap();
+        assert_eq!(store.get(3, "joiner-0").unwrap().unwrap(), b"three-again");
+    }
+
+    #[test]
+    fn mem_store_roundtrips() {
+        roundtrip_store(&MemStore::new());
+    }
+
+    #[test]
+    fn file_store_roundtrips() {
+        let dir = std::env::temp_dir().join(format!("ssj-ckpt-rt-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        roundtrip_store(&FileStore::open(&dir).unwrap());
+        // Reopening sees the committed state (durability).
+        let reopened = FileStore::open(&dir).unwrap();
+        assert_eq!(reopened.latest_complete().unwrap(), Some(3));
+        assert_eq!(reopened.manifest(3).unwrap().unwrap(), b"manifest-3");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_roundtrips_with_and_without_partition() {
+        let with = Manifest {
+            epoch: 7,
+            cut_id: 399,
+            k: 4,
+            bistream: true,
+            partition: Some(LengthPartition::from_uppers(vec![4, 9, 100])),
+        };
+        assert_eq!(Manifest::decode(&with.encode()).unwrap(), with);
+        let without = Manifest {
+            epoch: 1,
+            cut_id: 0,
+            k: 1,
+            bistream: false,
+            partition: None,
+        };
+        assert_eq!(Manifest::decode(&without.encode()).unwrap(), without);
+        assert!(Manifest::decode(&with.encode()[..10]).is_err());
+        let mut bad = with.encode();
+        bad[0] ^= 0xff;
+        assert!(Manifest::decode(&bad).is_err());
+    }
+
+    #[test]
+    fn coordinator_commits_when_all_tasks_publish_and_truncates_replay() {
+        let recovery = Arc::new(RecoveryState::new(2, Window::Unbounded));
+        for id in 0..10 {
+            let target = (id % 2) as usize;
+            recovery.buffer_index_target(
+                target,
+                crate::recovery::ReplayEntry {
+                    record: rec(id),
+                    side: None,
+                },
+            );
+        }
+        let cfg = CheckpointConfig::in_memory(5);
+        let coord = CheckpointCoordinator::new(2, &cfg, Arc::clone(&recovery)).unwrap();
+        let epoch = coord.begin_epoch(Timestamp::ZERO, 9, vec![Some(8), Some(7)], false, None);
+        assert_eq!(epoch, 1);
+        assert!(coord.restore_for(0).is_none(), "nothing committed yet");
+
+        let first = coord.publish(epoch, 0, &entries(&[0, 2, 4, 6, 8]));
+        assert!(!first.completed);
+        assert_eq!(coord.epochs_committed(), 0);
+        assert_eq!(recovery.buffered(0), 5, "no truncation before commit");
+
+        let second = coord.publish(epoch, 1, &entries(&[1, 3, 5, 7, 9]));
+        assert!(second.completed);
+        assert_eq!(coord.epochs_committed(), 1);
+        assert_eq!(coord.latest_complete(), Some(1));
+        // Buffers truncated to each task's cut: task 0 ≤ 8, task 1 ≤ 7.
+        assert_eq!(recovery.buffered(0), 0);
+        assert_eq!(recovery.buffered(1), 1);
+
+        let (e, restored) = coord.restore_for(1).unwrap();
+        assert_eq!(e, 1);
+        let ids: Vec<u64> = restored.iter().map(|(_, r)| r.id().0).collect();
+        assert_eq!(ids, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn epoch_numbering_resumes_after_existing_checkpoints() {
+        let store: Arc<dyn SnapshotStore> = Arc::new(MemStore::new());
+        store.put(4, "joiner-0", b"old").unwrap();
+        store.commit(4, b"m").unwrap();
+        let cfg = CheckpointConfig::new(10, Arc::clone(&store));
+        let recovery = Arc::new(RecoveryState::new(1, Window::Unbounded));
+        let coord = CheckpointCoordinator::new(1, &cfg, recovery).unwrap();
+        let epoch = coord.begin_epoch(Timestamp::ZERO, 0, vec![None], false, None);
+        assert_eq!(epoch, 5, "epochs continue after the store's history");
+    }
+
+    #[test]
+    fn load_latest_unions_and_dedups_task_windows() {
+        let store = MemStore::new();
+        assert!(load_latest(&store).unwrap().is_none());
+        // Replicated record 5 appears in both task snapshots (broadcast-
+        // style routing); the image must carry it once.
+        let part0 = encode_window_vec(&entries(&[1, 5])).unwrap();
+        let part1 = encode_window_vec(&[
+            (Some(Side::Left), rec(2)),
+            (None, rec(5)),
+            (Some(Side::Right), rec(9)),
+        ])
+        .unwrap();
+        store.put(2, "joiner-0", &part0).unwrap();
+        store.put(2, "joiner-1", &part1).unwrap();
+        store
+            .commit(
+                2,
+                &Manifest {
+                    epoch: 2,
+                    cut_id: 9,
+                    k: 2,
+                    bistream: false,
+                    partition: Some(LengthPartition::from_uppers(vec![3, 50])),
+                }
+                .encode(),
+            )
+            .unwrap();
+        let image = load_latest(&store).unwrap().unwrap();
+        assert_eq!(image.epoch, 2);
+        assert_eq!(image.cut_id, 9);
+        assert_eq!(image.k, 2);
+        assert!(!image.bistream);
+        assert!(image.partition.is_some());
+        let ids: Vec<u64> = image.window.iter().map(|(_, r)| r.id().0).collect();
+        assert_eq!(ids, vec![1, 2, 5, 9]);
+    }
+
+    #[test]
+    fn load_latest_rejects_a_complete_epoch_with_missing_parts() {
+        let store = MemStore::new();
+        store
+            .put(1, "joiner-0", &encode_window_vec(&entries(&[1])).unwrap())
+            .unwrap();
+        store
+            .commit(
+                1,
+                &Manifest {
+                    epoch: 1,
+                    cut_id: 3,
+                    k: 2,
+                    bistream: false,
+                    partition: None,
+                }
+                .encode(),
+            )
+            .unwrap();
+        assert!(load_latest(&store).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero checkpoint interval")]
+    fn zero_interval_rejected() {
+        let _ = CheckpointConfig::in_memory(0);
+    }
+}

@@ -3,6 +3,7 @@
 //! evaluation needs (throughput, communication, load balance, latency).
 
 use crate::bolts::{DispatcherBolt, JoinerBolt, JoinerSnapshot, SinkBolt, SinkState};
+use crate::checkpoint::{load_latest, CheckpointConfig, CheckpointCoordinator, SnapshotStore};
 use crate::msg::{JoinMsg, RecordMsg};
 use crate::recovery::RecoveryState;
 use crate::route::{BroadcastRouter, EpochRouter, LengthRouter, PrefixRouter, Router};
@@ -20,7 +21,7 @@ use std::sync::Arc;
 use std::time::Duration;
 use stormlite::{
     Delivery, FaultPlan, Grouping, LatencyHistogram, LinkFault, LinkFaultPlan, RetryConfig,
-    RunReport, Scheduler, SimConfig, Timestamp, Topology,
+    RunReport, Scheduler, SimConfig, Timestamp, Topology, Transcript,
 };
 
 /// Which local join algorithm each joiner runs.
@@ -198,8 +199,22 @@ pub struct DistributedJoinConfig {
     /// Caps each joiner's crash-recovery replay buffer at this many
     /// entries (see [`RecoveryState::with_buffer_cap`]). Only meaningful
     /// together with `fault`; `None` leaves the buffer bounded by window
-    /// expiry alone.
+    /// expiry alone — unless `checkpoint` is also set, which truncates the
+    /// buffer at every epoch commit regardless.
     pub replay_buffer_cap: Option<usize>,
+    /// Epoch-based coordinated checkpointing: inject a barrier every
+    /// `interval` dispatched records, snapshot every joiner's window into
+    /// the configured [`SnapshotStore`], and truncate replay buffers as
+    /// epochs commit (see [`crate::checkpoint`]). `None` (the default)
+    /// never checkpoints.
+    pub checkpoint: Option<CheckpointConfig>,
+    /// Rebuild the topology's state (joiner windows, routing partition,
+    /// bistream sides) from the latest complete checkpoint in this store
+    /// before streaming: source records the checkpoint already covers are
+    /// skipped, the checkpointed window is re-dispatched index-only, and a
+    /// persisted length partition overrides the configured strategy.
+    /// `None` (the default) starts empty.
+    pub restore_from: Option<Arc<dyn SnapshotStore>>,
     /// How the topology executes: [`Scheduler::Threads`] (the default) runs
     /// one OS thread per task; [`Scheduler::Sim`] runs the whole topology
     /// single-threaded under a virtual clock with a seeded interleaving, so
@@ -227,6 +242,8 @@ impl DistributedJoinConfig {
             chaos_seed: None,
             shed_watermark: None,
             replay_buffer_cap: None,
+            checkpoint: None,
+            restore_from: None,
             scheduler: Scheduler::Threads,
         }
     }
@@ -258,6 +275,20 @@ impl DistributedJoinConfig {
         self
     }
 
+    /// Enables epoch-based coordinated checkpointing (see
+    /// [`Self::checkpoint`]).
+    pub fn with_checkpointing(mut self, checkpoint: CheckpointConfig) -> Self {
+        self.checkpoint = Some(checkpoint);
+        self
+    }
+
+    /// Restores topology state from the latest complete checkpoint in
+    /// `store` before streaming (see [`Self::restore_from`]).
+    pub fn with_restore_from(mut self, store: Arc<dyn SnapshotStore>) -> Self {
+        self.restore_from = Some(store);
+        self
+    }
+
     /// Runs the topology under deterministic simulation with the given
     /// interleaving seed (see [`Self::scheduler`]).
     pub fn with_sim(mut self, seed: u64) -> Self {
@@ -286,6 +317,15 @@ pub struct DistributedJoinResult {
     /// [`DistributedJoinConfig::shed_watermark`] was set and overload
     /// actually occurred.
     pub shed_records: Vec<u64>,
+    /// When the run restored from a checkpoint
+    /// ([`DistributedJoinConfig::restore_from`] with a complete epoch
+    /// available): the restored epoch's cut id. Source records at or below
+    /// it were skipped as already covered.
+    pub restored_cut: Option<u64>,
+    /// The scheduler decision log of a simulated run (`None` under
+    /// [`Scheduler::Threads`]). Byte-identical across runs with the same
+    /// seed and configuration — the determinism witness golden tests pin.
+    pub transcript: Option<Transcript>,
 }
 
 impl DistributedJoinResult {
@@ -411,9 +451,50 @@ fn run_internal(
     );
     let threshold = cfg.join.threshold;
     let window = cfg.join.window;
-    let n_records = source.len();
 
-    let router: Box<dyn Router + Send> = match &cfg.strategy {
+    // Restore path: rebuild the checkpointed window before streaming. The
+    // image's records re-enter through the dispatcher as index-only tuples
+    // (in id order, ahead of all new records), so any router — including
+    // replicating ones and a freshly overridden partition — places them
+    // exactly as a live run would have.
+    let mut source = source;
+    let mut strategy = cfg.strategy.clone();
+    let mut restored_cut = None;
+    let mut prepended = 0;
+    if let Some(store) = &cfg.restore_from {
+        if let Some(image) = load_latest(store.as_ref()).expect("restore store unreadable") {
+            assert_eq!(image.k, cfg.k, "checkpoint was taken with a different k");
+            assert_eq!(
+                image.bistream, bistream,
+                "checkpoint topology shape (bistream) mismatch"
+            );
+            if let Some(partition) = image.partition {
+                strategy = Strategy::Length(partition);
+            }
+            let cut = image.cut_id;
+            source.retain(|m| m.record().is_none_or(|r| r.id().0 > cut));
+            let mut restored: Vec<JoinMsg> = image
+                .window
+                .into_iter()
+                .map(|(side, record)| {
+                    JoinMsg::Index(RecordMsg {
+                        record,
+                        ingest: Timestamp::ZERO,
+                        side,
+                    })
+                })
+                .collect();
+            prepended = restored.len();
+            restored.append(&mut source);
+            source = restored;
+            restored_cut = Some(cut);
+        }
+    }
+    // Restore re-dispatch tuples rebuild state; they are not part of the
+    // streamed workload the run's rates are normalized by.
+    let n_records = source.len() - prepended;
+
+    let router: Box<dyn Router + Send> = match &strategy {
         Strategy::Length(partition) => {
             assert_eq!(partition.k(), cfg.k, "partition/k mismatch");
             Box::new(LengthRouter::new(threshold, partition.clone()))
@@ -437,18 +518,29 @@ fn run_internal(
     };
     let needs_dedup = router.needs_result_dedup();
 
-    let recovery: Option<Arc<RecoveryState>> = cfg.fault.as_ref().map(|plan| {
+    if let Some(plan) = &cfg.fault {
         for spec in plan.specs() {
             assert_eq!(
                 spec.component, "joiner",
                 "fault plans may only crash joiner tasks"
             );
         }
-        let mut state = RecoveryState::new(cfg.k, window);
-        if let Some(cap) = cfg.replay_buffer_cap {
-            state = state.with_buffer_cap(cap);
-        }
-        Arc::new(state)
+    }
+    // Checkpointing needs the replay machinery too: epoch commits truncate
+    // the buffers, and a crashed joiner replays the uncheckpointed tail.
+    let recovery: Option<Arc<RecoveryState>> = (cfg.fault.is_some() || cfg.checkpoint.is_some())
+        .then(|| {
+            let mut state = RecoveryState::new(cfg.k, window);
+            if let Some(cap) = cfg.replay_buffer_cap {
+                state = state.with_buffer_cap(cap);
+            }
+            Arc::new(state)
+        });
+    let coordinator: Option<Arc<CheckpointCoordinator>> = cfg.checkpoint.as_ref().map(|cp| {
+        let recovery = recovery.clone().expect("created just above");
+        Arc::new(
+            CheckpointCoordinator::new(cfg.k, cp, recovery).expect("checkpoint store unavailable"),
+        )
     });
 
     let sink_state = Arc::new(Mutex::new(SinkState::default()));
@@ -473,7 +565,8 @@ fn run_internal(
     let mut router_slot = Some(
         DispatcherBolt::new(router)
             .with_recovery(recovery.clone())
-            .with_shedding(cfg.shed_watermark, Arc::clone(&shed_log)),
+            .with_shedding(cfg.shed_watermark, Arc::clone(&shed_log))
+            .with_checkpointing(coordinator.clone(), bistream),
     );
     topology.bolt("dispatcher", 1, move |_| {
         router_slot.take().expect("dispatcher built once")
@@ -492,6 +585,7 @@ fn run_internal(
                 task,
                 Arc::clone(&snaps),
                 recovery.clone(),
+                coordinator.clone(),
             )
         } else {
             JoinerBolt::new(
@@ -500,6 +594,7 @@ fn run_internal(
                 task,
                 Arc::clone(&snaps),
                 recovery.clone(),
+                coordinator.clone(),
             )
         }
     });
@@ -537,7 +632,13 @@ fn run_internal(
         }
     }
 
-    let report = topology.run_with(cfg.scheduler);
+    let (report, transcript) = match cfg.scheduler {
+        Scheduler::Sim(sim_cfg) => {
+            let run = topology.run_sim(sim_cfg);
+            (run.report, Some(run.transcript))
+        }
+        Scheduler::Threads => (topology.run_with(Scheduler::Threads), None),
+    };
     let wall = report.elapsed;
 
     let mut sink = sink_state.lock();
@@ -558,6 +659,8 @@ fn run_internal(
         records: n_records,
         wall,
         shed_records,
+        restored_cut,
+        transcript,
     }
 }
 
@@ -614,6 +717,8 @@ mod tests {
                 chaos_seed: None,
                 shed_watermark: None,
                 replay_buffer_cap: None,
+                checkpoint: None,
+                restore_from: None,
                 scheduler: Scheduler::Threads,
             };
             assert_eq!(run_keys(&records, &cfg), expect, "local={}", local.name());
@@ -636,6 +741,8 @@ mod tests {
             chaos_seed: None,
             shed_watermark: None,
             replay_buffer_cap: None,
+            checkpoint: None,
+            restore_from: None,
             scheduler: Scheduler::Threads,
         };
         assert_eq!(run_keys(&records, &cfg), expect);
@@ -657,6 +764,8 @@ mod tests {
             chaos_seed: None,
             shed_watermark: None,
             replay_buffer_cap: None,
+            checkpoint: None,
+            restore_from: None,
             scheduler: Scheduler::Threads,
         };
         assert_eq!(run_keys(&records, &cfg), expect);
@@ -688,6 +797,8 @@ mod tests {
                 chaos_seed: None,
                 shed_watermark: None,
                 replay_buffer_cap: None,
+                checkpoint: None,
+                restore_from: None,
                 scheduler: Scheduler::Threads,
             };
             assert_eq!(run_keys(&records, &cfg), expect);
@@ -726,6 +837,8 @@ mod tests {
             chaos_seed: None,
             shed_watermark: None,
             replay_buffer_cap: None,
+            checkpoint: None,
+            restore_from: None,
             scheduler: Scheduler::Threads,
         };
         assert_eq!(run_keys(&records, &cfg), expect);
@@ -748,6 +861,8 @@ mod tests {
             chaos_seed: None,
             shed_watermark: None,
             replay_buffer_cap: None,
+            checkpoint: None,
+            restore_from: None,
             scheduler: Scheduler::Threads,
         };
         let result = run_distributed(&records, &cfg);
@@ -774,6 +889,8 @@ mod tests {
             chaos_seed: None,
             shed_watermark: None,
             replay_buffer_cap: None,
+            checkpoint: None,
+            restore_from: None,
             scheduler: Scheduler::Threads,
         };
         let length = run_distributed(
@@ -807,6 +924,8 @@ mod tests {
             chaos_seed: None,
             shed_watermark: None,
             replay_buffer_cap: None,
+            checkpoint: None,
+            restore_from: None,
             scheduler: Scheduler::Threads,
         };
         assert_eq!(run_keys(&records, &cfg), expect);
@@ -874,6 +993,8 @@ mod tests {
                 chaos_seed: None,
                 shed_watermark: None,
                 replay_buffer_cap: None,
+                checkpoint: None,
+                restore_from: None,
                 scheduler: Scheduler::Threads,
             };
             let out = run_bistream_distributed(&left, &right, &cfg);
@@ -905,6 +1026,8 @@ mod tests {
             chaos_seed: None,
             shed_watermark: None,
             replay_buffer_cap: None,
+            checkpoint: None,
+            restore_from: None,
             scheduler: Scheduler::Threads,
         };
         let out = run_bistream_distributed(&left, &right, &cfg);
@@ -942,6 +1065,8 @@ mod tests {
                 chaos_seed: None,
                 shed_watermark: None,
                 replay_buffer_cap: None,
+                checkpoint: None,
+                restore_from: None,
                 scheduler: Scheduler::Threads,
             };
             let result = run_distributed(&records, &cfg);
@@ -990,6 +1115,8 @@ mod tests {
             chaos_seed: None,
             shed_watermark: None,
             replay_buffer_cap: None,
+            checkpoint: None,
+            restore_from: None,
             scheduler: Scheduler::Threads,
         };
         let result = run_distributed(&records, &cfg);
@@ -1022,6 +1149,8 @@ mod tests {
             chaos_seed: None,
             shed_watermark: None,
             replay_buffer_cap: None,
+            checkpoint: None,
+            restore_from: None,
             scheduler: Scheduler::Threads,
         };
         let out = run_bistream_distributed(&left, &right, &cfg);
@@ -1109,6 +1238,8 @@ mod tests {
             chaos_seed: Some(99),
             shed_watermark: None,
             replay_buffer_cap: None,
+            checkpoint: None,
+            restore_from: None,
             scheduler: Scheduler::Threads,
         };
         let result = run_distributed(&records, &cfg);
@@ -1136,6 +1267,8 @@ mod tests {
             chaos_seed: None,
             shed_watermark: Some(4),
             replay_buffer_cap: None,
+            checkpoint: None,
+            restore_from: None,
             scheduler: Scheduler::Threads,
         };
         let result = run_distributed(&records, &cfg);
@@ -1180,6 +1313,8 @@ mod tests {
             chaos_seed: None,
             shed_watermark: None,
             replay_buffer_cap: Some(20),
+            checkpoint: None,
+            restore_from: None,
             scheduler: Scheduler::Threads,
         };
         let result = run_distributed(&records, &cfg);
@@ -1219,11 +1354,169 @@ mod tests {
             // Window::Count(100) keeps ≤ ~101 in-window entries per task;
             // a 400-entry cap is never the binding constraint.
             replay_buffer_cap: Some(400),
+            checkpoint: None,
+            restore_from: None,
             scheduler: Scheduler::Threads,
         };
         let result = run_distributed(&records, &cfg);
         assert_eq!(run_keys_of(&result), expect);
         assert!(result.joiners.iter().all(|j| j.replay_overflow == 0));
+    }
+
+    #[test]
+    fn checkpointed_crash_recovery_stays_exact() {
+        let records = workload(800, 0.3);
+        let join = JoinConfig::jaccard(0.7); // unbounded window
+        let expect = ground_truth(&records, join);
+        for strategy in [
+            Strategy::LengthAuto {
+                method: PartitionMethod::LoadAware,
+                sample: 100,
+            },
+            Strategy::Prefix,
+            Strategy::Broadcast,
+        ] {
+            let name = strategy.name();
+            let cfg = DistributedJoinConfig {
+                k: 3,
+                join,
+                local: LocalAlgo::PpJoin,
+                strategy,
+                channel_capacity: 32,
+                source_rate: None,
+                fault: Some(FaultPlan::new().crash("joiner", 1, 100)),
+                chaos_seed: None,
+                shed_watermark: None,
+                replay_buffer_cap: None,
+                checkpoint: Some(crate::checkpoint::CheckpointConfig::in_memory(16)),
+                restore_from: None,
+                scheduler: Scheduler::Threads,
+            };
+            let result = run_distributed(&records, &cfg);
+            assert_eq!(run_keys_of(&result), expect, "{name}");
+            assert_eq!(result.report.total_restarts(), 1, "{name}");
+            assert!(
+                result.report.checkpoints() > 0,
+                "{name}: no epoch published"
+            );
+            assert!(
+                result.joiners[1].restored_from_epoch.is_some(),
+                "{name}: restart predates every commit despite 100 tuples at interval 16"
+            );
+        }
+    }
+
+    #[test]
+    fn checkpointing_removes_capped_buffer_overflow_loss() {
+        // The counterpart of
+        // `capped_replay_buffer_overflows_loudly_and_stays_duplicate_free`:
+        // the identical unbounded-window workload whose replay buffer
+        // overflows a small cap without checkpointing loses nothing once
+        // epoch commits truncate the buffer faster than it fills.
+        let records = workload(800, 0.3);
+        let join = JoinConfig::jaccard(0.7); // unbounded window: buffer grows
+        let expect = ground_truth(&records, join);
+        let cfg = DistributedJoinConfig {
+            k: 3,
+            join,
+            local: LocalAlgo::PpJoin,
+            strategy: Strategy::LengthAuto {
+                method: PartitionMethod::LoadAware,
+                sample: 100,
+            },
+            channel_capacity: 32,
+            source_rate: None,
+            fault: Some(FaultPlan::new().crash("joiner", 1, 100)),
+            chaos_seed: None,
+            shed_watermark: None,
+            // Far below the ~800/3 entries a task would otherwise buffer
+            // under an unbounded window, but above interval + in-flight.
+            replay_buffer_cap: Some(100),
+            checkpoint: Some(crate::checkpoint::CheckpointConfig::in_memory(16)),
+            restore_from: None,
+            scheduler: Scheduler::Threads,
+        };
+        let result = run_distributed(&records, &cfg);
+        assert!(
+            result.joiners.iter().all(|j| j.replay_overflow == 0),
+            "epoch commits must keep the capped buffer from overflowing"
+        );
+        assert_eq!(run_keys_of(&result), expect);
+    }
+
+    #[test]
+    fn restore_from_file_store_resumes_exactly() {
+        use crate::checkpoint::{CheckpointConfig, FileStore};
+        let dir = std::env::temp_dir().join(format!("ssj-restore-smoke-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let records = workload(700, 0.3);
+        let join = JoinConfig {
+            threshold: Threshold::jaccard(0.7),
+            window: Window::Count(120),
+        };
+        let base = DistributedJoinConfig {
+            k: 3,
+            join,
+            local: LocalAlgo::PpJoin,
+            strategy: Strategy::LengthAuto {
+                method: PartitionMethod::LoadAware,
+                sample: 100,
+            },
+            channel_capacity: 64,
+            source_rate: None,
+            fault: None,
+            chaos_seed: None,
+            shed_watermark: None,
+            replay_buffer_cap: None,
+            checkpoint: None,
+            restore_from: None,
+            scheduler: Scheduler::Threads,
+        };
+
+        // Phase 1: checkpoint to disk while streaming, then "lose" the
+        // process — only the snapshot directory survives.
+        let ckpt = base
+            .clone()
+            .with_checkpointing(CheckpointConfig::in_dir(50, &dir).unwrap());
+        let phase1 = run_distributed(&records, &ckpt);
+        assert!(phase1.report.checkpoints() > 0);
+
+        // Phase 2: a fresh topology restores from the directory and is fed
+        // the same stream; it must skip everything the checkpoint covers
+        // and produce exactly the pairs whose later record is post-cut.
+        let store = Arc::new(FileStore::open(&dir).unwrap());
+        let restored = run_distributed(&records, &base.clone().with_restore_from(store));
+        let cut = restored.restored_cut.expect("a complete epoch was on disk");
+        assert!(cut > 0 && (cut as usize) < records.len());
+        let expect: Vec<(u64, u64)> = ground_truth(&records, join)
+            .into_iter()
+            .filter(|&(_, later)| later > cut)
+            .collect();
+        assert_eq!(run_keys_of(&restored), expect);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_metrics_surface_in_the_report() {
+        let records = workload(400, 0.3);
+        let join = JoinConfig::jaccard(0.7);
+        let cfg = DistributedJoinConfig {
+            checkpoint: Some(crate::checkpoint::CheckpointConfig::in_memory(40)),
+            ..DistributedJoinConfig::recommended(3, join)
+        }
+        .with_sim(11);
+        let result = run_distributed(&records, &cfg);
+        let epochs = result.report.checkpoint_latency().count();
+        assert!(epochs > 0, "no epoch committed");
+        // Every injected barrier reaches every joiner before EOS, so each
+        // opened epoch collects exactly k publishes and commits.
+        assert_eq!(result.report.checkpoints(), 3 * epochs);
+        assert!(result.report.checkpoint_bytes() > 0);
+        assert_eq!(result.report.barrier_stall().count(), 3 * epochs);
+        // Same seed, same config: the checkpointed sim replays exactly.
+        let again = run_distributed(&records, &cfg);
+        assert_eq!(result.transcript, again.transcript);
+        assert!(result.transcript.is_some());
     }
 
     #[test]

@@ -25,12 +25,17 @@
 #![warn(missing_docs)]
 
 pub mod bolts;
+pub mod checkpoint;
 pub mod driver;
 pub mod msg;
 pub mod pace;
 pub mod recovery;
 pub mod route;
 
+pub use checkpoint::{
+    load_latest, CheckpointConfig, CheckpointCoordinator, CheckpointImage, FileStore, MemStore,
+    SnapshotStore,
+};
 pub use driver::{
     calibrate_partition, run_bistream_distributed, run_distributed, DistributedJoinConfig,
     DistributedJoinResult, LocalAlgo, PartitionMethod, Strategy,

@@ -49,6 +49,19 @@ pub enum JoinMsg {
         /// Dispatch time of the probing record, on the topology clock.
         ingest: Timestamp,
     },
+    /// A checkpoint barrier control tuple. The dispatcher injects one per
+    /// epoch down every joiner wire; a joiner receiving it snapshots its
+    /// window and publishes the snapshot to the epoch's checkpoint. Rides
+    /// the same FIFO wires as data, so everything dispatched before the
+    /// barrier is reflected in the snapshot and nothing after it is.
+    Barrier {
+        /// The checkpoint epoch this barrier opens.
+        epoch: u64,
+        /// When the dispatcher injected the barrier, on the topology
+        /// clock — the reference point for alignment-stall and checkpoint
+        /// latency metrics.
+        injected_at: Timestamp,
+    },
 }
 
 impl JoinMsg {
@@ -56,7 +69,7 @@ impl JoinMsg {
     pub fn record(&self) -> Option<&Record> {
         match self {
             JoinMsg::Probe(m) | JoinMsg::Index(m) | JoinMsg::ProbeAndIndex(m) => Some(&m.record),
-            JoinMsg::Result { .. } => None,
+            JoinMsg::Result { .. } | JoinMsg::Barrier { .. } => None,
         }
     }
 
@@ -64,7 +77,7 @@ impl JoinMsg {
     pub fn payload(&self) -> Option<&RecordMsg> {
         match self {
             JoinMsg::Probe(m) | JoinMsg::Index(m) | JoinMsg::ProbeAndIndex(m) => Some(m),
-            JoinMsg::Result { .. } => None,
+            JoinMsg::Result { .. } | JoinMsg::Barrier { .. } => None,
         }
     }
 
@@ -85,6 +98,9 @@ impl Message for JoinMsg {
                 1 + m.record.wire_bytes() + u64::from(m.side.is_some())
             }
             JoinMsg::Result { .. } => 1 + 8 + 8 + 8,
+            // tag + epoch + injected_at: barriers are (nearly) free on the
+            // wire, whatever the checkpoint interval.
+            JoinMsg::Barrier { .. } => 1 + 8 + 8,
         }
     }
 }
@@ -130,6 +146,18 @@ mod tests {
         assert_eq!(m.wire_bytes(), 25);
         assert!(m.record().is_none());
         assert!(m.payload().is_none());
+    }
+
+    #[test]
+    fn barrier_is_fixed_size_and_carries_no_record() {
+        let m = JoinMsg::Barrier {
+            epoch: 3,
+            injected_at: Timestamp::ZERO,
+        };
+        assert_eq!(m.wire_bytes(), 17);
+        assert!(m.record().is_none());
+        assert!(m.payload().is_none());
+        assert!(!m.indexes());
     }
 
     #[test]

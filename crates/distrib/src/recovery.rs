@@ -73,6 +73,8 @@ struct TaskRecovery {
     replayed: AtomicU64,
     /// Entries evicted by the buffer cap before they could expire.
     overflow: AtomicU64,
+    /// Entries dropped because a completed checkpoint now covers them.
+    truncated: AtomicU64,
 }
 
 impl TaskRecovery {
@@ -84,6 +86,7 @@ impl TaskRecovery {
             incarnations: AtomicU64::new(0),
             replayed: AtomicU64::new(0),
             overflow: AtomicU64::new(0),
+            truncated: AtomicU64::new(0),
         }
     }
 
@@ -99,8 +102,8 @@ impl TaskRecovery {
 }
 
 /// Shared recovery state for one distributed run: one replay buffer and
-/// watermark per joiner task. Created only when a fault plan is active, so
-/// fault-free runs pay nothing.
+/// watermark per joiner task. Created only when a fault plan or
+/// checkpointing is active, so plain runs pay nothing.
 #[derive(Debug)]
 pub struct RecoveryState {
     window: Window,
@@ -208,6 +211,39 @@ impl RecoveryState {
         entries
     }
 
+    /// Checkpoint coordinator side, when an epoch completes: drops every
+    /// buffered entry for `task` with record id ≤ `through_id` — the
+    /// durable snapshot now covers that state, so post-crash replay starts
+    /// from the snapshot instead. `None` (no index target was ever routed
+    /// to the task before the barrier) is a no-op.
+    ///
+    /// This is what bounds the replay buffer under [`Window::Unbounded`]:
+    /// with an epoch committed every `interval` records, buffered state
+    /// tops out near `interval` plus the in-flight backlog, independent of
+    /// stream length — so a buffer cap sized above the interval never
+    /// overflows and capped recovery loses nothing.
+    pub fn commit_snapshot(&self, task: usize, through_id: Option<u64>) {
+        let Some(through) = through_id else { return };
+        let t = &self.tasks[task];
+        let mut buf = t.buffer.lock();
+        let mut dropped = 0u64;
+        while let Some(front) = buf.front() {
+            if front.record.id().0 <= through {
+                buf.pop_front();
+                dropped += 1;
+            } else {
+                break;
+            }
+        }
+        drop(buf);
+        t.truncated.fetch_add(dropped, Ordering::Relaxed);
+    }
+
+    /// Number of joiner tasks this state tracks.
+    pub fn k(&self) -> usize {
+        self.tasks.len()
+    }
+
     /// How many incarnations `task` has seen (1 = never crashed).
     pub fn incarnations(&self, task: usize) -> u64 {
         self.tasks[task].incarnations.load(Ordering::Relaxed)
@@ -228,6 +264,12 @@ impl RecoveryState {
     /// less than its full lost window.
     pub fn overflowed(&self, task: usize) -> u64 {
         self.tasks[task].overflow.load(Ordering::Relaxed)
+    }
+
+    /// Buffered entries for `task` dropped because a completed checkpoint
+    /// superseded them (see [`commit_snapshot`](Self::commit_snapshot)).
+    pub fn truncated(&self, task: usize) -> u64 {
+        self.tasks[task].truncated.load(Ordering::Relaxed)
     }
 }
 
@@ -337,6 +379,47 @@ mod tests {
     #[should_panic(expected = "zero-entry replay buffer")]
     fn zero_cap_rejected() {
         let _ = RecoveryState::new(1, Window::Unbounded).with_buffer_cap(0);
+    }
+
+    #[test]
+    fn snapshot_commit_truncates_covered_prefix_only() {
+        let r = RecoveryState::new(1, Window::Unbounded);
+        for id in 0..10 {
+            r.buffer_index_target(0, entry(id, id));
+        }
+        r.commit_snapshot(0, Some(6));
+        assert_eq!(r.buffered(0), 3);
+        assert_eq!(r.truncated(0), 7);
+        // Replay after the commit covers only the uncheckpointed suffix.
+        r.mark_processed(0, 9, 9);
+        let ids: Vec<u64> = r.replay_for(0).iter().map(|e| e.record.id().0).collect();
+        assert_eq!(ids, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn snapshot_commit_with_no_cut_is_a_noop() {
+        let r = RecoveryState::new(1, Window::Unbounded);
+        r.buffer_index_target(0, entry(3, 3));
+        r.commit_snapshot(0, None);
+        assert_eq!(r.buffered(0), 1);
+        assert_eq!(r.truncated(0), 0);
+    }
+
+    #[test]
+    fn periodic_commits_bound_an_unbounded_buffer() {
+        // Mirrors the checkpointing loop: an epoch commit every 8 records
+        // keeps the unbounded-window buffer near the interval, so a cap of
+        // 16 is never hit and nothing is lost to overflow.
+        let r = RecoveryState::new(1, Window::Unbounded).with_buffer_cap(16);
+        for id in 0..200u64 {
+            r.buffer_index_target(0, entry(id, id));
+            r.mark_processed(0, id, id);
+            if (id + 1) % 8 == 0 {
+                r.commit_snapshot(0, Some(id));
+            }
+        }
+        assert_eq!(r.overflowed(0), 0);
+        assert!(r.buffered(0) <= 8);
     }
 
     #[test]

@@ -46,6 +46,15 @@ pub trait Router: Send {
     fn needs_result_dedup(&self) -> bool {
         false
     }
+
+    /// The length partition this router currently routes by, if it is a
+    /// length-based router — persisted in checkpoint manifests so a
+    /// restored topology resumes with the same routing instead of
+    /// recalibrating on a truncated sample. `None` for partition-free
+    /// routers (prefix, broadcast).
+    fn length_partition(&self) -> Option<&LengthPartition> {
+        None
+    }
 }
 
 impl Router for Box<dyn Router + Send> {
@@ -63,6 +72,10 @@ impl Router for Box<dyn Router + Send> {
 
     fn needs_result_dedup(&self) -> bool {
         self.as_ref().needs_result_dedup()
+    }
+
+    fn length_partition(&self) -> Option<&LengthPartition> {
+        self.as_ref().length_partition()
     }
 }
 
@@ -118,6 +131,10 @@ impl Router for LengthRouter {
             index,
             probe: (a..=b).collect(),
         }
+    }
+
+    fn length_partition(&self) -> Option<&LengthPartition> {
+        Some(&self.partition)
     }
 }
 
@@ -211,6 +228,13 @@ impl Router for EpochRouter {
             index: vec![self.epoched.index_partition(record.len())],
             probe: self.epoched.probe_partitions(record.len()),
         }
+    }
+
+    fn length_partition(&self) -> Option<&LengthPartition> {
+        // Older plans only matter for records already routed under them; a
+        // restore re-dispatches the live window through the current plan,
+        // so that is the one worth persisting.
+        Some(self.epoched.current_partition())
     }
 }
 

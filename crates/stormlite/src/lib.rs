@@ -51,7 +51,7 @@ pub use delivery::{Delivery, RetryConfig};
 pub use fault::{FaultPlan, FaultSpec};
 pub use grouping::Grouping;
 pub use link::{LinkFault, LinkFaultPlan, LinkFaultSpec};
-pub use message::{Bolt, CollectorBolt, Message, Outbox};
+pub use message::{BarrierAligner, Bolt, CollectorBolt, Message, Outbox};
 pub use metrics::{LatencyHistogram, RunReport, TaskMetrics};
 pub use sim::{Scheduler, SimConfig, SimRun, Transcript};
 pub use topology::Topology;

@@ -349,16 +349,27 @@ impl<M: Message> OutWire<M> {
         }
     }
 
-    /// Retransmits every unacknowledged tuple whose retry timeout (with
-    /// exponential backoff) has expired. Retransmissions go through the
-    /// chaos layer again — each attempt rolls fresh dice, so a retried
-    /// tuple is never deterministically re-dropped.
+    /// The deterministic jitter salt for one pending tuple's retry timer:
+    /// a pure function of (link, destination, sequence, retry count), so
+    /// the overdue check and the simulator's idle-jump deadline agree.
+    fn retry_salt(link: u64, dest: usize, seq: u64, retries: u32) -> u64 {
+        link ^ (dest as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            ^ seq.wrapping_mul(0xbf58_476d_1ce4_e5b9)
+            ^ ((retries as u64) << 56)
+    }
+
+    /// Retransmits every unacknowledged tuple whose (jittered) retry
+    /// timeout has expired. Retransmissions go through the chaos layer
+    /// again — each attempt rolls fresh dice, so a retried tuple is never
+    /// deterministically re-dropped.
     fn retransmit_overdue(&mut self, metrics: &mut TaskMetrics) {
         let now = self.clock.now();
+        let link = self.link;
         let mut to_retx = Vec::new();
         if let Some(rel) = &mut self.reliable {
             for ((dest, seq), p) in rel.unacked.iter_mut() {
-                if now.saturating_since(p.last_tx) >= rel.retry.timeout_after(p.retries) {
+                let salt = Self::retry_salt(link, *dest, *seq, p.retries);
+                if now.saturating_since(p.last_tx) >= rel.retry.jittered_timeout(p.retries, salt) {
                     p.retries += 1;
                     p.last_tx = now;
                     metrics.retries += 1;
@@ -439,10 +450,14 @@ impl<M: Message> OutWire<M> {
         self.retransmit_overdue(metrics);
         self.flush_delayed();
         self.drain_acks();
+        let link = self.link;
         let rel = self.reliable.as_ref()?;
         rel.unacked
-            .values()
-            .map(|p| p.last_tx.plus(rel.retry.timeout_after(p.retries)))
+            .iter()
+            .map(|((dest, seq), p)| {
+                let salt = Self::retry_salt(link, *dest, *seq, p.retries);
+                p.last_tx.plus(rel.retry.jittered_timeout(p.retries, salt))
+            })
             .min()
     }
 }
@@ -546,6 +561,28 @@ impl<M: Message> Outbox<M> {
         self.metrics.shed += n;
     }
 
+    /// Records one checkpoint snapshot captured by this task, of
+    /// `bytes` serialized bytes. Surfaces as
+    /// [`RunReport::checkpoints`](crate::RunReport::checkpoints) /
+    /// [`RunReport::checkpoint_bytes`](crate::RunReport::checkpoint_bytes).
+    pub fn record_checkpoint(&mut self, bytes: u64) {
+        self.metrics.checkpoints += 1;
+        self.metrics.checkpoint_bytes += bytes;
+    }
+
+    /// Records how long a barrier control tuple stalled between injection
+    /// upstream and this task aligning on it (virtual time under the
+    /// simulator).
+    pub fn record_barrier_stall(&mut self, stall: Duration) {
+        self.metrics.barrier_stall.record(stall);
+    }
+
+    /// Records the end-to-end latency of one completed checkpoint epoch:
+    /// barrier injection to the last task's snapshot publication.
+    pub fn record_checkpoint_latency(&mut self, latency: Duration) {
+        self.metrics.checkpoint_latency.record(latency);
+    }
+
     pub(crate) fn send_eos(&mut self) {
         for w in 0..self.wires.len() {
             let wire = &mut self.wires[w];
@@ -584,6 +621,65 @@ impl<M: Message> Outbox<M> {
                 s.send(Envelope::Eos).expect("receiver alive until EOS");
             }
         }
+    }
+}
+
+/// Alignment bookkeeping for barrier control tuples arriving from several
+/// upstream tasks.
+///
+/// A coordinated checkpoint injects one barrier per epoch into every wire
+/// feeding a bolt; the bolt must not snapshot until the barrier has
+/// arrived on *all* upstream links, or the snapshot would mix pre-barrier
+/// state from one link with post-barrier tuples from another. Feed every
+/// arriving barrier to [`observe`](Self::observe); it returns `true`
+/// exactly once per epoch, when the last expected copy lands.
+///
+/// This tracks arrival counts only — it does not buffer the data tuples
+/// that overtake a partially-aligned barrier. On FIFO effectively-once
+/// links fed by a *single* upstream task per epoch source (the
+/// dispatcher topology in ssj-distrib) no such buffering is needed:
+/// alignment is immediate and the aligner degenerates to pass-through.
+#[derive(Debug)]
+pub struct BarrierAligner {
+    expected: usize,
+    seen: BTreeMap<u64, usize>,
+}
+
+impl BarrierAligner {
+    /// An aligner expecting one barrier copy per epoch from each of
+    /// `expected` upstream tasks.
+    ///
+    /// # Panics
+    /// Panics if `expected` is zero.
+    pub fn new(expected: usize) -> Self {
+        assert!(
+            expected > 0,
+            "a bolt with no upstream links sees no barriers"
+        );
+        Self {
+            expected,
+            seen: BTreeMap::new(),
+        }
+    }
+
+    /// Records one arrived barrier for `epoch`; returns `true` when this
+    /// was the last expected copy (the epoch is now aligned and its state
+    /// is forgotten).
+    pub fn observe(&mut self, epoch: u64) -> bool {
+        let n = self.seen.entry(epoch).or_insert(0);
+        *n += 1;
+        if *n >= self.expected {
+            self.seen.remove(&epoch);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of epochs currently part-aligned (some but not all copies
+    /// arrived).
+    pub fn pending(&self) -> usize {
+        self.seen.len()
     }
 }
 
@@ -736,5 +832,40 @@ mod tests {
             out.iter().map(|(m, _)| m.0).collect::<Vec<_>>(),
             [0, 1, 2, 3]
         );
+    }
+
+    #[test]
+    fn single_upstream_barrier_aligns_immediately() {
+        let mut a = BarrierAligner::new(1);
+        assert!(a.observe(1));
+        assert!(a.observe(2));
+        assert_eq!(a.pending(), 0);
+    }
+
+    #[test]
+    fn multi_upstream_barrier_aligns_on_last_copy() {
+        let mut a = BarrierAligner::new(3);
+        assert!(!a.observe(1));
+        assert!(!a.observe(1));
+        assert_eq!(a.pending(), 1);
+        assert!(a.observe(1));
+        assert_eq!(a.pending(), 0);
+    }
+
+    #[test]
+    fn interleaved_epochs_align_independently() {
+        let mut a = BarrierAligner::new(2);
+        assert!(!a.observe(5));
+        assert!(!a.observe(6));
+        assert_eq!(a.pending(), 2);
+        assert!(a.observe(6));
+        assert!(a.observe(5));
+        assert_eq!(a.pending(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no upstream links")]
+    fn zero_upstream_aligner_is_rejected() {
+        let _ = BarrierAligner::new(0);
     }
 }

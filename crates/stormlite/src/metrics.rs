@@ -132,6 +132,18 @@ pub struct TaskMetrics {
     pub dropped_poisoned: u64,
     /// Largest retry backoff reached on this task's reliable wires.
     pub max_backoff: Duration,
+    /// Checkpoint snapshots captured by this task
+    /// (see [`Outbox::record_checkpoint`](crate::Outbox::record_checkpoint)).
+    pub checkpoints: u64,
+    /// Total serialized bytes of this task's checkpoint snapshots.
+    pub checkpoint_bytes: u64,
+    /// End-to-end latency of checkpoint epochs this task completed
+    /// (barrier injection → last snapshot published); recorded only on the
+    /// task whose snapshot completed the epoch.
+    pub checkpoint_latency: LatencyHistogram,
+    /// Time barrier control tuples stalled between upstream injection and
+    /// this task aligning on them.
+    pub barrier_stall: LatencyHistogram,
 }
 
 impl TaskMetrics {
@@ -151,6 +163,10 @@ impl TaskMetrics {
         self.shed += other.shed;
         self.dropped_poisoned += other.dropped_poisoned;
         self.max_backoff = self.max_backoff.max(other.max_backoff);
+        self.checkpoints += other.checkpoints;
+        self.checkpoint_bytes += other.checkpoint_bytes;
+        self.checkpoint_latency.merge(&other.checkpoint_latency);
+        self.barrier_stall.merge(&other.barrier_stall);
     }
 }
 
@@ -238,6 +254,35 @@ impl RunReport {
             .map(|(_, _, m)| m.max_backoff)
             .max()
             .unwrap_or(Duration::ZERO)
+    }
+
+    /// Checkpoint snapshots captured across all tasks.
+    pub fn checkpoints(&self) -> u64 {
+        self.tasks.iter().map(|(_, _, m)| m.checkpoints).sum()
+    }
+
+    /// Total serialized snapshot bytes across all tasks.
+    pub fn checkpoint_bytes(&self) -> u64 {
+        self.tasks.iter().map(|(_, _, m)| m.checkpoint_bytes).sum()
+    }
+
+    /// Merged per-epoch checkpoint latency histogram (barrier injection →
+    /// epoch complete) across all tasks.
+    pub fn checkpoint_latency(&self) -> LatencyHistogram {
+        let mut h = LatencyHistogram::default();
+        for (_, _, m) in &self.tasks {
+            h.merge(&m.checkpoint_latency);
+        }
+        h
+    }
+
+    /// Merged barrier-alignment stall histogram across all tasks.
+    pub fn barrier_stall(&self) -> LatencyHistogram {
+        let mut h = LatencyHistogram::default();
+        for (_, _, m) in &self.tasks {
+            h.merge(&m.barrier_stall);
+        }
+        h
     }
 
     /// Aggregated metrics of one component across its tasks.

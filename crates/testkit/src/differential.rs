@@ -12,13 +12,14 @@
 //! test and debug a perfectly reproducible execution.
 
 use crate::oracle;
-use ssj_core::JoinConfig;
+use ssj_core::{JoinConfig, MatchPair};
 use ssj_distrib::{
-    run_bistream_distributed, run_distributed, DistributedJoinConfig, DistributedJoinResult,
-    LocalAlgo, Strategy,
+    run_bistream_distributed, run_distributed, CheckpointConfig, DistributedJoinConfig,
+    DistributedJoinResult, LocalAlgo, MemStore, SnapshotStore, Strategy,
 };
 use ssj_text::Record;
 use ssj_workloads::{DatasetProfile, LengthDist, StreamGenerator};
+use std::sync::Arc;
 use stormlite::{FaultPlan, Scheduler, SimConfig};
 
 /// The workload profile differential tests run on: moderate skew, short
@@ -61,6 +62,10 @@ pub struct DifferentialCase {
     /// uses the shed-adjusted oracle. Incompatible with `bistream` (the
     /// bi-stream oracle has no shed accounting).
     pub shed_watermark: Option<usize>,
+    /// Checkpoint every this many dispatched records into an in-memory
+    /// store. Checkpointing must never change the output, so the oracle
+    /// comparison is unchanged; it composes with every other knob.
+    pub checkpoint_interval: Option<u64>,
 }
 
 impl DifferentialCase {
@@ -82,6 +87,7 @@ impl DifferentialCase {
             crash: false,
             chaos: false,
             shed_watermark: None,
+            checkpoint_interval: None,
         }
     }
 
@@ -106,6 +112,12 @@ impl DifferentialCase {
     /// Sheds load above the given queue depth.
     pub fn with_shedding(mut self, watermark: usize) -> Self {
         self.shed_watermark = Some(watermark);
+        self
+    }
+
+    /// Checkpoints every `interval` dispatched records.
+    pub fn with_checkpoints(mut self, interval: u64) -> Self {
+        self.checkpoint_interval = Some(interval);
         self
     }
 }
@@ -150,6 +162,8 @@ pub fn run_differential(seed: u64, case: &DifferentialCase) -> DifferentialOutco
         chaos_seed: case.chaos.then_some(seed),
         shed_watermark: case.shed_watermark,
         replay_buffer_cap: None,
+        checkpoint: case.checkpoint_interval.map(CheckpointConfig::in_memory),
+        restore_from: None,
         scheduler: Scheduler::Sim(SimConfig::seeded(seed)),
     };
     if case.crash {
@@ -204,6 +218,126 @@ pub fn run_differential(seed: u64, case: &DifferentialCase) -> DifferentialOutco
     }
 }
 
+/// What a crash-and-restore differential produced, after both phases'
+/// oracle comparisons passed.
+#[derive(Debug)]
+pub struct RestoreOutcome {
+    /// Cut id of the checkpoint the second phase restored from (`None` if
+    /// the first phase died before any epoch committed, in which case the
+    /// restored run was compared against the full oracle).
+    pub cut: Option<u64>,
+    /// Result pairs the restored run (and the suffix oracle) produced.
+    pub pairs: usize,
+}
+
+/// Differential crash-and-restore: proves a restored topology is exact.
+///
+/// Phase one streams ~60% of the workload with checkpointing enabled
+/// (interval from [`DifferentialCase::checkpoint_interval`], default
+/// `records / 6`) into a shared in-memory store, then the whole process
+/// "dies" — everything but the store is discarded, composing with any
+/// in-run crash/chaos the case injects. Phase two rebuilds the topology
+/// from the store's latest complete checkpoint and streams the full
+/// workload; the driver skips records the checkpoint covers. The restored
+/// run must produce **exactly** the oracle pairs whose later (probing)
+/// record is past the checkpoint's cut — same keys, byte-exact
+/// similarities — for every strategy, local algorithm, and window kind.
+///
+/// # Panics
+///
+/// Panics on any divergence, or if the case requests shedding (the
+/// shed-adjusted oracle is not defined across a restore boundary).
+pub fn run_restore_differential(seed: u64, case: &DifferentialCase) -> RestoreOutcome {
+    assert!(
+        case.shed_watermark.is_none(),
+        "shed accounting is not defined across a restore boundary"
+    );
+    let records = StreamGenerator::new(differential_profile(), seed).take_records(case.records);
+    let store: Arc<dyn SnapshotStore> = Arc::new(MemStore::new());
+    let interval = case
+        .checkpoint_interval
+        .unwrap_or((case.records as u64 / 6).max(1));
+
+    let mut phase1 = DistributedJoinConfig {
+        k: case.k,
+        join: case.join,
+        local: case.local,
+        strategy: case.strategy.clone(),
+        channel_capacity: 64,
+        source_rate: None,
+        fault: None,
+        chaos_seed: case.chaos.then_some(seed),
+        shed_watermark: None,
+        replay_buffer_cap: None,
+        checkpoint: Some(CheckpointConfig::new(interval, Arc::clone(&store))),
+        restore_from: None,
+        scheduler: Scheduler::Sim(SimConfig::seeded(seed)),
+    };
+    if case.crash {
+        let horizon = (case.records as u64 / 4).max(1);
+        phase1.fault = Some(FaultPlan::new().crash_seeded("joiner", case.k, horizon, seed));
+    }
+    // The "whole-process crash": phase one sees only a prefix of the
+    // stream, and nothing of it survives but the snapshot store.
+    let survives = (records.len() * 3 / 5).max(1);
+    let prefix = &records[..survives];
+
+    let mut phase2 = phase1.clone();
+    phase2.fault = None;
+    phase2.checkpoint = None;
+    phase2.restore_from = Some(Arc::clone(&store));
+    phase2.scheduler = Scheduler::Sim(SimConfig::seeded(seed ^ 0x5eed));
+
+    let split = |rs: &[Record]| -> (Vec<Record>, Vec<Record>) {
+        rs.iter().cloned().partition(|r| r.id().0 % 2 == 0)
+    };
+    let (restored, oracle_pairs): (DistributedJoinResult, Vec<MatchPair>) = if case.bistream {
+        let (pl, pr) = split(prefix);
+        let _ = run_bistream_distributed(&pl, &pr, &phase1);
+        let (l, r) = split(&records);
+        let restored = run_bistream_distributed(&l, &r, &phase2);
+        let expect = oracle::bistream_join(&l, &r, &case.join);
+        (restored, expect)
+    } else {
+        let _ = run_distributed(prefix, &phase1);
+        let restored = run_distributed(&records, &phase2);
+        let expect = oracle::self_join_surviving(&records, &case.join, &[]);
+        (restored, expect)
+    };
+
+    // The restored run owes exactly the pairs whose probing record is past
+    // the cut: earlier pairs were phase one's to emit (and died with it).
+    let cut = restored.restored_cut;
+    let floor = cut.unwrap_or(0);
+    let mut expect: Vec<MatchPair> = oracle_pairs
+        .into_iter()
+        .filter(|m| m.later.0 > floor)
+        .collect();
+    let got_keys = oracle::sorted_keys(&restored.pairs);
+    let expect_keys = oracle::sorted_keys(&expect);
+    assert_eq!(
+        got_keys, expect_keys,
+        "seed {seed}: restored run diverges from the post-cut oracle \
+         (cut {cut:?}, {case:?})"
+    );
+    let mut got_sorted = restored.pairs.clone();
+    got_sorted.sort_by_key(|m| m.key());
+    expect.sort_by_key(|m| m.key());
+    for (g, e) in got_sorted.iter().zip(&expect) {
+        assert!(
+            (g.similarity - e.similarity).abs() < 1e-12,
+            "seed {seed}: restored similarity diverges on {:?}: {} vs oracle {}",
+            g.key(),
+            g.similarity,
+            e.similarity
+        );
+    }
+    RestoreOutcome {
+        cut,
+        pairs: got_keys.len(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -250,6 +384,33 @@ mod tests {
     fn shedding_case_uses_adjusted_oracle() {
         let out = run_differential(3, &base_case().with_shedding(4));
         assert!(out.recall <= 1.0 && out.recall > 0.0);
+    }
+
+    #[test]
+    fn checkpointing_leaves_the_oracle_comparison_unchanged() {
+        let mut case = base_case().with_checkpoints(20).with_crash();
+        case.join = case.join.with_window(Window::Count(60));
+        let out = run_differential(17, &case);
+        assert!(out.pairs > 0);
+        assert!(
+            out.result.report.checkpoints() > 0,
+            "no snapshot was ever published — the knob did nothing"
+        );
+    }
+
+    #[test]
+    fn restore_differential_resumes_past_the_cut() {
+        let out = run_restore_differential(9, &base_case());
+        assert!(out.cut.is_some(), "phase one committed no epoch");
+        assert!(out.pairs > 0, "post-cut suffix produced no pairs");
+    }
+
+    #[test]
+    fn restore_differential_handles_bistream_and_windows() {
+        let mut case = base_case().bistream();
+        case.join = case.join.with_window(Window::Count(60));
+        let out = run_restore_differential(13, &case);
+        assert!(out.cut.is_some());
     }
 
     #[test]

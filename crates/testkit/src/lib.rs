@@ -26,9 +26,10 @@ pub mod oracle;
 pub mod transcript;
 
 pub use differential::{
-    differential_profile, run_differential, DifferentialCase, DifferentialOutcome,
+    differential_profile, run_differential, run_restore_differential, DifferentialCase,
+    DifferentialOutcome, RestoreOutcome,
 };
 pub use oracle::{
     bistream_join, overlap, self_join, self_join_surviving, shed_recall, sorted_keys,
 };
-pub use transcript::{diff, reference_run};
+pub use transcript::{diff, reference_checkpoint_run, reference_run};

@@ -65,6 +65,42 @@ pub fn reference_run(seed: u64) -> SimRun {
     t.run_sim(SimConfig::seeded(seed))
 }
 
+/// The checkpointed counterpart of [`reference_run`]: the full distributed
+/// join topology under simulation with epoch checkpointing, a seeded
+/// joiner crash, and chaos-mode lossy wires all active at once. Its
+/// transcript freezes the barrier/snapshot machinery's scheduling — epoch
+/// injection points, snapshot publishes, replay-buffer truncation — on top
+/// of everything the plain reference run covers.
+pub fn reference_checkpoint_run(seed: u64) -> ssj_distrib::DistributedJoinResult {
+    use ssj_core::JoinConfig;
+    use ssj_distrib::{
+        CheckpointConfig, DistributedJoinConfig, LocalAlgo, PartitionMethod, Strategy,
+    };
+    use ssj_workloads::StreamGenerator;
+
+    let records =
+        StreamGenerator::new(crate::differential::differential_profile(), seed).take_records(120);
+    let cfg = DistributedJoinConfig {
+        k: 2,
+        join: JoinConfig::jaccard(0.7),
+        local: LocalAlgo::PpJoin,
+        strategy: Strategy::LengthAuto {
+            method: PartitionMethod::LoadAware,
+            sample: 40,
+        },
+        channel_capacity: 32,
+        source_rate: None,
+        fault: Some(stormlite::FaultPlan::new().crash_seeded("joiner", 2, 40, seed)),
+        chaos_seed: Some(seed),
+        shed_watermark: None,
+        replay_buffer_cap: None,
+        checkpoint: Some(CheckpointConfig::in_memory(25)),
+        restore_from: None,
+        scheduler: stormlite::Scheduler::Sim(SimConfig::seeded(seed)),
+    };
+    ssj_distrib::run_distributed(&records, &cfg)
+}
+
 /// Human-readable report of the first divergence between two transcripts,
 /// with three lines of context on each side; `None` when identical.
 pub fn diff(a: &Transcript, b: &Transcript) -> Option<String> {

@@ -19,9 +19,14 @@ use testkit::transcript::{diff, Transcript};
 
 const GOLDEN_SEED: u64 = 7;
 const GOLDEN: &str = include_str!("../golden/reference_seed7.transcript");
+const GOLDEN_CHECKPOINT: &str = include_str!("../golden/checkpoint_seed7.transcript");
 
 fn golden_path() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("golden/reference_seed7.transcript")
+}
+
+fn checkpoint_golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("golden/checkpoint_seed7.transcript")
 }
 
 #[test]
@@ -47,8 +52,30 @@ fn two_consecutive_runs_are_byte_identical() {
 }
 
 #[test]
-#[ignore = "rewrites the golden file; run only after an intentional simulation change"]
+fn checkpointed_golden_transcript_replays_byte_identical() {
+    let run = testkit::reference_checkpoint_run(GOLDEN_SEED);
+    let transcript = run.transcript.expect("sim runs record a transcript");
+    let got = transcript.to_text();
+    if got != GOLDEN_CHECKPOINT {
+        let report = diff(&Transcript::from_text(GOLDEN_CHECKPOINT), &transcript)
+            .unwrap_or_else(|| "(same lines, different trailing bytes)".into());
+        panic!(
+            "checkpointed replay diverged from the committed golden transcript.\n{report}\n\
+             If the change is intentional, regenerate with\n  \
+             cargo test -p testkit --test golden regenerate -- --ignored"
+        );
+    }
+}
+
+#[test]
+#[ignore = "rewrites the golden files; run only after an intentional simulation change"]
 fn regenerate() {
     let run = testkit::reference_run(GOLDEN_SEED);
     std::fs::write(golden_path(), run.transcript.to_text()).expect("write golden transcript");
+    let ckpt = testkit::reference_checkpoint_run(GOLDEN_SEED);
+    std::fs::write(
+        checkpoint_golden_path(),
+        ckpt.transcript.expect("sim transcript").to_text(),
+    )
+    .expect("write checkpoint golden transcript");
 }

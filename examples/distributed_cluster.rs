@@ -49,6 +49,8 @@ fn main() {
             chaos_seed: None,
             shed_watermark: None,
             replay_buffer_cap: None,
+            checkpoint: None,
+            restore_from: None,
             scheduler: Scheduler::Threads,
         };
         let out = run_distributed(&records, &cfg);

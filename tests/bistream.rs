@@ -81,6 +81,8 @@ fn bistream_window_and_prefix_strategy() {
         chaos_seed: None,
         shed_watermark: None,
         replay_buffer_cap: None,
+        checkpoint: None,
+        restore_from: None,
         scheduler: Scheduler::Threads,
     };
     let out = run_bistream_distributed(&left, &right, &cfg);

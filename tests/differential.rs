@@ -13,7 +13,7 @@ use dssj::core::{JoinConfig, Threshold, Window};
 use dssj::distrib::{LocalAlgo, PartitionMethod, Strategy};
 use dssj::partition::EpochConfig;
 use proptest::prelude::*;
-use testkit::{run_differential, DifferentialCase};
+use testkit::{run_differential, run_restore_differential, DifferentialCase};
 
 const STRATEGIES: usize = 4;
 const LOCALS: usize = 5;
@@ -87,6 +87,32 @@ fn every_strategy_local_window_combination_matches_oracle() {
     );
 }
 
+/// Checkpoint-and-restore across the full matrix: for every strategy ×
+/// local algorithm × window kind, phase one checkpoints (and crashes
+/// mid-stream), the whole topology is discarded, and a rebuilt topology
+/// restored from the latest complete snapshot must produce byte-exact
+/// oracle-equal results for everything after the checkpoint cut.
+#[test]
+fn every_combination_restores_exactly_from_checkpoint() {
+    let mut restored = 0usize;
+    for strat in 0..STRATEGIES {
+        for loc in 0..LOCALS {
+            for win in 0..WINDOWS {
+                let seed = 0x9e37 + (strat * LOCALS * WINDOWS + loc * WINDOWS + win) as u64;
+                let out =
+                    run_restore_differential(seed, &case(3, 0.7, strat, loc, win).with_crash());
+                restored += out.cut.is_some() as usize;
+            }
+        }
+    }
+    // Most cells must have committed at least one epoch before the cut —
+    // otherwise the restore path was never actually exercised.
+    assert!(
+        restored > STRATEGIES * LOCALS * WINDOWS / 2,
+        "only {restored} matrix cells committed a checkpoint before the handover"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -124,6 +150,51 @@ proptest! {
             c = c.with_chaos();
         }
         run_differential(seed, &c);
+    }
+
+    /// Checkpointing in the loop changes nothing observable: barriers,
+    /// snapshot publishes and replay-buffer truncation ride alongside
+    /// crashes and lossy links, and the oracle must still match exactly.
+    #[test]
+    fn checkpointed_runs_match_oracle(
+        seed in 0u64..1_000_000,
+        k in 1usize..5,
+        tau in 0.55f64..0.9,
+        strat in 0usize..STRATEGIES,
+        loc in 0usize..LOCALS,
+        win in 0usize..WINDOWS,
+        interval in 8u64..48,
+        fault in 0usize..4, // bit 0: crash, bit 1: chaos
+    ) {
+        let mut c = case(k, tau, strat, loc, win).with_checkpoints(interval);
+        if fault & 1 != 0 {
+            c = c.with_crash();
+        }
+        if fault & 2 != 0 {
+            c = c.with_chaos();
+        }
+        run_differential(seed, &c);
+    }
+
+    /// Random configuration, crash mid-stream, restore from the latest
+    /// complete snapshot: the rebuilt topology equals the oracle on the
+    /// post-cut suffix, byte-exact.
+    #[test]
+    fn restored_runs_match_oracle(
+        seed in 0u64..1_000_000,
+        k in 1usize..5,
+        tau in 0.55f64..0.9,
+        strat in 0usize..STRATEGIES,
+        loc in 0usize..LOCALS,
+        win in 0usize..WINDOWS,
+        interval in 8u64..48,
+        crash in 0usize..2,
+    ) {
+        let mut c = case(k, tau, strat, loc, win).with_checkpoints(interval);
+        if crash == 1 {
+            c = c.with_crash();
+        }
+        run_restore_differential(seed, &c);
     }
 
     /// Bi-stream joins under simulation equal the cross-side oracle.

@@ -72,6 +72,8 @@ fn text_pipeline_to_distributed_join() {
             chaos_seed: None,
             shed_watermark: None,
             replay_buffer_cap: None,
+            checkpoint: None,
+            restore_from: None,
             scheduler: Scheduler::Threads,
         };
         let out = run_distributed(&records, &cfg);

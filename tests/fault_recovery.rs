@@ -10,6 +10,7 @@
 
 use dssj::core::join::run_stream;
 use dssj::core::{JoinConfig, NaiveJoiner, Threshold, Window};
+use dssj::distrib::CheckpointConfig;
 use dssj::distrib::{
     run_distributed, DistributedJoinConfig, LocalAlgo, PartitionMethod, Scheduler,
     Strategy as DistStrategy,
@@ -116,6 +117,8 @@ proptest! {
                     chaos_seed: None,
                     shed_watermark: None,
                     replay_buffer_cap: None,
+                    checkpoint: None,
+                    restore_from: None,
                     scheduler: Scheduler::Threads,
                 };
                 let out = run_distributed(&records, &cfg);
@@ -173,6 +176,8 @@ proptest! {
             chaos_seed: None,
             shed_watermark: None,
             replay_buffer_cap: None,
+            checkpoint: None,
+            restore_from: None,
             scheduler: Scheduler::Threads,
         };
         let out = run_distributed(&records, &cfg);
@@ -222,6 +227,8 @@ proptest! {
                 chaos_seed: Some(chaos_seed),
                 shed_watermark: None,
                 replay_buffer_cap: None,
+                checkpoint: None,
+                restore_from: None,
                 scheduler: Scheduler::Threads,
             };
             let out = run_distributed(&records, &cfg);
@@ -239,5 +246,74 @@ proptest! {
                 out.report.total_retries(), out.report.total_dup_drops()
             );
         }
+    }
+
+    /// Everything at once: epoch checkpointing (random interval), a seeded
+    /// joiner crash, link chaos on every wire, and optional load shedding.
+    /// Replay-buffer truncation after each committed epoch must never lose
+    /// state, and the result must equal the oracle restricted to the
+    /// records the run itself chose to shed — exactly.
+    #[test]
+    fn checkpointing_composes_with_crash_chaos_and_shedding(
+        profile in profile_strategy(),
+        seed in 0u64..10_000,
+        tau in 0.55f64..0.9,
+        k in 2usize..5,
+        interval in 8u64..64,
+        fault_seed in 0u64..1_000_000,
+        chaos_seed in 0u64..1_000_000,
+        shed_raw in 0usize..8, // 0..3 → no shedding, else watermark
+
+        local_idx in 0usize..5,
+        strat_idx in 0usize..4,
+    ) {
+        let records = StreamGenerator::new(profile, seed).take_records(150);
+        let shed = (shed_raw >= 3).then_some(shed_raw);
+        let join = JoinConfig {
+            threshold: Threshold::jaccard(tau),
+            window: Window::Count(60),
+        };
+        let strategy = strategies()[strat_idx].clone();
+        let cfg = DistributedJoinConfig {
+            k,
+            join,
+            local: LOCALS[local_idx],
+            strategy: strategy.clone(),
+            channel_capacity: 64,
+            source_rate: None,
+            fault: Some(FaultPlan::new().crash_seeded("joiner", k, 120, fault_seed)),
+            chaos_seed: Some(chaos_seed),
+            shed_watermark: shed,
+            replay_buffer_cap: None,
+            checkpoint: Some(CheckpointConfig::in_memory(interval)),
+            restore_from: None,
+            scheduler: Scheduler::Threads,
+        };
+        let out = run_distributed(&records, &cfg);
+        let expect = sorted_keys(&testkit::self_join_surviving(
+            &records,
+            &join,
+            &out.shed_records,
+        ));
+        let got = sorted_keys(&out.pairs);
+        prop_assert_eq!(
+            got.windows(2).filter(|w| w[0] == w[1]).count(),
+            0,
+            "duplicate pairs: strategy={} local={} epochs={}",
+            strategy.name(), LOCALS[local_idx].name(), out.report.checkpoints()
+        );
+        prop_assert_eq!(
+            &got, &expect,
+            "lost or spurious pairs: strategy={} local={} restarts={} checkpoints={} shed={}",
+            strategy.name(), LOCALS[local_idx].name(), out.report.total_restarts(),
+            out.report.checkpoints(), out.shed_records.len()
+        );
+        // Shedding drops records before they are dispatched (and counted
+        // toward the barrier interval), so an epoch is only guaranteed to
+        // fire when shedding is off.
+        prop_assert!(
+            shed.is_some() || out.report.checkpoints() > 0,
+            "no snapshot was ever published despite interval {}", interval
+        );
     }
 }

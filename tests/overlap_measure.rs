@@ -92,6 +92,8 @@ fn distributed_overlap_equals_naive_under_every_strategy() {
             chaos_seed: None,
             shed_watermark: None,
             replay_buffer_cap: None,
+            checkpoint: None,
+            restore_from: None,
             scheduler: Scheduler::Threads,
         };
         let out = run_distributed(&records, &dc);

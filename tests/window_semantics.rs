@@ -103,6 +103,8 @@ fn distributed_window_equals_local_window() {
                 chaos_seed: None,
                 shed_watermark: None,
                 replay_buffer_cap: None,
+                checkpoint: None,
+                restore_from: None,
                 scheduler: Scheduler::Threads,
             };
             let out = run_distributed(&records, &cfg);
