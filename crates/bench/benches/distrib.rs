@@ -83,6 +83,7 @@ fn bench_end_to_end(c: &mut Criterion) {
                     replay_buffer_cap: None,
                     checkpoint: None,
                     restore_from: None,
+                    trace: None,
                     scheduler: Scheduler::Threads,
                 };
                 black_box(run_distributed(black_box(&records), &cfg).pairs.len())

@@ -1,0 +1,73 @@
+//! Observability overhead gate: enabled per-stage instrumentation must not
+//! regress the local-join hot path by more than a small tolerance.
+//!
+//! This is a pass/fail guard, not a criterion benchmark: it times the same
+//! whole-stream bundle join once plain ([`run_stream`]) and once profiled
+//! ([`run_stream_profiled`] — two clock reads and one histogram increment
+//! per sampled arrival), compares best-of-k times, and exits non-zero if
+//! the profiled run is more than `OBS_OVERHEAD_PCT` percent slower
+//! (default 5). Best-of-k is used because minima are far more stable than
+//! means on shared CI hosts.
+
+use ssj_core::join::{run_stream, run_stream_profiled};
+use ssj_core::{BundleJoiner, JoinConfig};
+use ssj_workloads::{DatasetProfile, StreamGenerator};
+use std::hint::black_box;
+use std::time::Instant;
+
+const N: usize = 4_000;
+const ITERS: usize = 15;
+
+fn main() {
+    let tolerance_pct: f64 = std::env::var("OBS_OVERHEAD_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5.0);
+    let records =
+        StreamGenerator::new(DatasetProfile::tweet().with_dup_rate(0.3), 7).take_records(N);
+    let cfg = JoinConfig::jaccard(0.7);
+
+    let time_plain = || {
+        let mut j = BundleJoiner::with_defaults(cfg);
+        let t0 = Instant::now();
+        black_box(run_stream(&mut j, black_box(&records)).len());
+        t0.elapsed().as_nanos()
+    };
+    let time_profiled = || {
+        let mut j = BundleJoiner::with_defaults(cfg);
+        let mut profile = obs::StageProfile::new();
+        let t0 = Instant::now();
+        black_box(run_stream_profiled(&mut j, black_box(&records), &mut profile).len());
+        let dt = t0.elapsed().as_nanos();
+        assert_eq!(
+            profile.get(obs::Stage::Execute).count(),
+            N.div_ceil(ssj_core::join::PROFILE_SAMPLE_EVERY) as u64,
+            "profile must sample the whole stream"
+        );
+        dt
+    };
+
+    // Warm both paths, then interleave so drift hits them evenly.
+    time_plain();
+    time_profiled();
+    let mut best_plain = u128::MAX;
+    let mut best_profiled = u128::MAX;
+    for _ in 0..ITERS {
+        best_plain = best_plain.min(time_plain());
+        best_profiled = best_profiled.min(time_profiled());
+    }
+
+    let overhead_pct = 100.0 * (best_profiled as f64 / best_plain as f64 - 1.0);
+    println!(
+        "local_join n={N}: plain best {:.3} ms, profiled best {:.3} ms, overhead {overhead_pct:+.2}% (gate {tolerance_pct}%)",
+        best_plain as f64 / 1e6,
+        best_profiled as f64 / 1e6,
+    );
+    if overhead_pct > tolerance_pct {
+        eprintln!(
+            "FAIL: enabled instrumentation costs {overhead_pct:.2}% > {tolerance_pct}% on the local join"
+        );
+        std::process::exit(1);
+    }
+    println!("OK: instrumentation overhead within the {tolerance_pct}% gate");
+}

@@ -36,6 +36,7 @@ fn cfg(scheduler: Scheduler) -> DistributedJoinConfig {
         replay_buffer_cap: None,
         checkpoint: None,
         restore_from: None,
+        trace: None,
         scheduler,
     }
 }

@@ -12,7 +12,7 @@ use std::process::ExitCode;
 
 const IDS: &[&str] = &[
     "check", "t1", "t2", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "f10", "f11", "f12",
-    "f13", "f14", "a1",
+    "f13", "f14", "a1", "e2e",
 ];
 
 fn usage() -> ExitCode {
@@ -86,6 +86,7 @@ fn main() -> ExitCode {
             "f13" => exps::f13(scale, &results),
             "f14" => exps::f14(scale, &results),
             "a1" => exps::a1(scale, &results),
+            "e2e" => exps::e2e(scale, &results),
             other => {
                 eprintln!("unknown experiment id: {other}");
                 return usage();

@@ -51,6 +51,7 @@ fn dist_cfg(
         replay_buffer_cap: None,
         checkpoint: None,
         restore_from: None,
+        trace: None,
         scheduler: Scheduler::Threads,
     }
 }
@@ -985,6 +986,109 @@ pub fn f14(scale: Scale, results: &Path) {
     }
     let _ = std::fs::remove_dir_all(&tmp);
     t.emit(results, "f14_checkpoint");
+}
+
+/// Day of the current UTC date as `YYYY-MM-DD` (Hinnant's civil-from-days
+/// algorithm, so the harness needs no calendar dependency).
+fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let z = (secs / 86_400) as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = yoe + era * 400 + i64::from(m <= 2);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Appends `entry` (a JSON object) to a JSON-array file, creating the file
+/// as `[entry]` if it does not exist. The file stays pretty-printed with
+/// one entry per array slot so diffs show exactly one new trajectory point.
+fn append_json_entry(path: &Path, entry: &str) {
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let body = match std::fs::read_to_string(path) {
+        Ok(old) => {
+            let trimmed = old.trim_end();
+            let without_close = trimmed
+                .strip_suffix(']')
+                .unwrap_or_else(|| panic!("{}: expected a JSON array file", path.display()))
+                .trim_end();
+            let sep = if without_close.ends_with('[') {
+                ""
+            } else {
+                ","
+            };
+            format!("{without_close}{sep}\n{entry}\n]\n")
+        }
+        Err(_) => format!("[\n{entry}\n]\n"),
+    };
+    std::fs::write(path, body).expect("write perf trajectory");
+}
+
+/// E2E — one traced end-to-end run appended as a perf-trajectory point to
+/// `results/BENCH_e2e.json`: throughput (records/s) plus per-stage p50/p99
+/// from the driver's [`obs::StageProfile`]. Repeated runs accumulate a
+/// history of end-to-end performance alongside the evolving code.
+pub fn e2e(scale: Scale, results: &Path) {
+    let n = scale.n();
+    let recs = records(&DatasetProfile::tweet(), n);
+    let join = JoinConfig::jaccard(0.8);
+    let cfg = DistributedJoinConfig {
+        trace: Some(ssj_distrib::TraceConfig::default()),
+        ..dist_cfg(4, join, LocalAlgo::bundle(), length_auto(5_000))
+    };
+    let out = run_distributed(&recs, &cfg);
+
+    let mut t = Table::new(
+        &format!("E2E: traced end-to-end run (tweet, n = {n}, k = 4, tau = 0.8)"),
+        &["stage", "count", "p50_us", "p99_us"],
+    );
+    let mut stage_json = String::new();
+    for (stage, h) in out.stages.stages() {
+        if h.count() == 0 {
+            continue;
+        }
+        let p50 = h.quantile(0.5).as_nanos();
+        let p99 = h.quantile(0.99).as_nanos();
+        t.row(vec![
+            stage.name().into(),
+            h.count().to_string(),
+            fnum(p50 as f64 / 1e3),
+            fnum(p99 as f64 / 1e3),
+        ]);
+        if !stage_json.is_empty() {
+            stage_json.push_str(",\n");
+        }
+        stage_json.push_str(&format!(
+            "      \"{}\": {{ \"count\": {}, \"p50_ns\": {p50}, \"p99_ns\": {p99} }}",
+            stage.name(),
+            h.count()
+        ));
+    }
+    t.emit(results, "e2e_stages");
+
+    let entry = format!(
+        "  {{\n    \"bench\": \"e2e_tweet_threads\",\n    \"date\": \"{}\",\n    \
+         \"records\": {n},\n    \"k\": 4,\n    \"tau\": 0.8,\n    \"pairs\": {},\n    \
+         \"records_per_s\": {:.0},\n    \"trace_spans\": {},\n    \"stages\": {{\n{stage_json}\n    }}\n  }}",
+        today_utc(),
+        out.pairs.len(),
+        out.throughput(),
+        out.trace.as_ref().map_or(0, obs::RunTrace::len),
+    );
+    append_json_entry(&results.join("BENCH_e2e.json"), &entry);
+    println!(
+        "appended trajectory point to {}\n",
+        results.join("BENCH_e2e.json").display()
+    );
 }
 
 /// Correctness smoke: naive vs the full distributed recommended setup on a

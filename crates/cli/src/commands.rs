@@ -25,11 +25,13 @@ pub fn usage() -> ExitCode {
                  [--qgram Q] [--window N] [--k K=4] [--show-pairs N=10]
                  [--chaos-seed S] [--shed-watermark W] [--source-rate R]
                  [--sim SEED] [--checkpoint-dir DIR [--checkpoint-interval N=1000]]
-                 [--restore-from DIR]
+                 [--restore-from DIR] [--trace-out FILE] [--chrome-out FILE]
+                 [--metrics-out FILE]
   dssj bistream  --left FILE --right FILE [--tau T=0.8] [--algo A] [--k K=4]
                  [--chaos-seed S] [--source-rate R] [--sim SEED]
                  [--checkpoint-dir DIR [--checkpoint-interval N=1000]]
-                 [--restore-from DIR]
+                 [--restore-from DIR] [--trace-out FILE] [--chrome-out FILE]
+                 [--metrics-out FILE]
   dssj generate  --profile aol|dblp|enron|tweet --n N --out FILE [--seed S=1]
   dssj partition --input FILE [--tau T=0.8] [--k K=8]"
     );
@@ -142,7 +144,37 @@ fn dist_config(args: &Args, join: JoinConfig) -> Result<DistributedJoinConfig, A
         checkpoint,
         restore_from,
         scheduler,
+        // Tracing is observation-only: under --sim the same seed renders a
+        // byte-identical trace, and leaving both flags off keeps the hot
+        // path instrumentation-free.
+        trace: if args.has("trace-out") || args.has("chrome-out") {
+            Some(ssj_distrib::TraceConfig::default())
+        } else {
+            None
+        },
     })
+}
+
+/// Writes whichever observability exports were requested: a JSONL span
+/// trace (`--trace-out`), a chrome://tracing timeline (`--chrome-out`),
+/// and a Prometheus text-format metrics snapshot (`--metrics-out`).
+fn write_exports(args: &Args, out: &ssj_distrib::DistributedJoinResult) -> CliResult {
+    if let Some(path) = args.get("trace-out") {
+        let trace = out.trace.as_ref().expect("tracing enabled by --trace-out");
+        std::fs::write(path, obs::trace_jsonl(trace))?;
+        println!("trace       : {} spans -> {path}", trace.len());
+    }
+    if let Some(path) = args.get("chrome-out") {
+        let trace = out.trace.as_ref().expect("tracing enabled by --chrome-out");
+        std::fs::write(path, obs::trace_chrome(trace))?;
+        println!("chrome trace: {} spans -> {path}", trace.len());
+    }
+    if let Some(path) = args.get("metrics-out") {
+        let snap = out.report.metrics_snapshot();
+        std::fs::write(path, obs::prometheus(&snap))?;
+        println!("metrics     : {} series -> {path}", snap.samples.len());
+    }
+    Ok(())
 }
 
 fn print_summary(out: &ssj_distrib::DistributedJoinResult) {
@@ -199,6 +231,7 @@ pub fn join(args: &Args) -> CliResult {
     let cfg = dist_config(args, join)?;
     let out = run_distributed(corpus.records(), &cfg);
     print_summary(&out);
+    write_exports(args, &out)?;
     if args.flag("verbose") {
         for j in &out.joiners {
             println!(
@@ -240,6 +273,7 @@ pub fn bistream(args: &Args) -> CliResult {
     let cfg = dist_config(args, join)?;
     let out = run_bistream_distributed(&left_records, &right_records, &cfg);
     print_summary(&out);
+    write_exports(args, &out)?;
     let show: usize = args.get_or("show-pairs", 10)?;
     for m in out.pairs.iter().take(show) {
         println!("{:.3}  {:?} <-> {:?}", m.similarity, m.earlier, m.later);

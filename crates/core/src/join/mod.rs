@@ -178,6 +178,41 @@ pub fn run_stream<J: StreamJoiner + ?Sized>(joiner: &mut J, records: &[Record]) 
     out
 }
 
+/// One in how many arrivals [`run_stream_profiled`] times: a systematic
+/// 1-in-8 sample keeps the two clock reads off seven of every eight
+/// records, so per-record latencies well under a microsecond can be
+/// profiled without the clock dominating the measurement.
+pub const PROFILE_SAMPLE_EVERY: usize = 8;
+
+/// Runs a whole stream like [`run_stream`], additionally sampling the
+/// wall-clock latency of one arrival in every [`PROFILE_SAMPLE_EVERY`]
+/// into `profile` under [`obs::Stage::Execute`].
+///
+/// This is the local-join counterpart of the distributed driver's
+/// per-stage profile, used by the observability overhead benchmark to put
+/// a number on what the instrumentation itself costs. Every record goes
+/// through the same fused [`process`](StreamJoiner::process) step as
+/// [`run_stream`] (timing must never force a joiner onto a slower
+/// split probe/insert path), so the only added work is two clock reads
+/// and one histogram increment per sampled arrival.
+pub fn run_stream_profiled<J: StreamJoiner + ?Sized>(
+    joiner: &mut J,
+    records: &[Record],
+    profile: &mut obs::StageProfile,
+) -> Vec<MatchPair> {
+    let mut out = Vec::new();
+    for (i, r) in records.iter().enumerate() {
+        if i % PROFILE_SAMPLE_EVERY == 0 {
+            let t0 = std::time::Instant::now();
+            joiner.process(r, &mut out);
+            profile.record(obs::Stage::Execute, t0.elapsed());
+        } else {
+            joiner.process(r, &mut out);
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod snapshot_tests {
     //! The snapshot/restore contract every joiner must satisfy: after any
@@ -314,6 +349,42 @@ mod snapshot_tests {
             let mut fresh = joiner_under_test(which, cfg);
             fresh.restore(&[]);
             assert_eq!(fresh.stored(), 0, "{which}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod profiled_tests {
+    use super::*;
+    use ssj_text::TokenId;
+
+    #[test]
+    fn profiled_run_matches_plain_run_and_counts_every_record() {
+        let records: Vec<Record> = (0..40u64)
+            .map(|id| {
+                let toks = (0..6u32).map(|t| TokenId(t + (id as u32 % 5))).collect();
+                Record::from_sorted(RecordId(id), id, toks)
+            })
+            .collect();
+        let cfg = JoinConfig::jaccard(0.6);
+
+        let mut plain = BundleJoiner::new(BundleConfig::new(cfg));
+        let expected = run_stream(&mut plain, &records);
+
+        let mut profiled = BundleJoiner::new(BundleConfig::new(cfg));
+        let mut profile = obs::StageProfile::new();
+        let got = run_stream_profiled(&mut profiled, &records, &mut profile);
+
+        assert_eq!(expected, got, "profiling must not change the results");
+        // 40 records at a 1-in-8 sample: records 0, 8, 16, 24, 32.
+        let sampled = 40usize.div_ceil(PROFILE_SAMPLE_EVERY) as u64;
+        assert_eq!(profile.get(obs::Stage::Execute).count(), sampled);
+        // Only the one stage the local path exercises is populated.
+        for (stage, h) in profile.stages() {
+            match stage {
+                obs::Stage::Execute => assert_eq!(h.count(), sampled),
+                _ => assert_eq!(h.count(), 0, "unexpected samples in {}", stage.name()),
+            }
         }
     }
 }

@@ -4,6 +4,7 @@ use crate::checkpoint::CheckpointCoordinator;
 use crate::msg::{JoinMsg, RecordMsg};
 use crate::recovery::{RecoveryState, ReplayEntry};
 use crate::route::{token_owner, Router};
+use obs::{Stage, StageProfile};
 use parking_lot::Mutex;
 use ssj_core::join::bistream::BiStreamJoiner;
 use ssj_core::snapshot::SnapshotEntry;
@@ -11,7 +12,39 @@ use ssj_core::window::EvictionQueue;
 use ssj_core::{JoinStats, MatchPair, StreamJoiner, Threshold, Window};
 use ssj_text::{FxHashMap, Record, RecordId, TokenId};
 use std::sync::Arc;
-use stormlite::{BarrierAligner, Bolt, LatencyHistogram, Outbox};
+use std::time::Duration;
+use stormlite::{BarrierAligner, Bolt, LatencyHistogram, Outbox, Timestamp};
+
+/// Task-local per-stage latency recorder. Bolts record into the private
+/// [`StageProfile`] on the hot path (no locking) and merge it into the
+/// run-shared profile once, when the bolt finishes. Recording reads only
+/// the topology clock — it never mutates it and draws no randomness — so
+/// enabling stage profiling leaves simulated transcripts byte-identical.
+pub struct StageRecorder {
+    local: StageProfile,
+    shared: Arc<Mutex<StageProfile>>,
+}
+
+impl StageRecorder {
+    /// A recorder that flushes into `shared` on [`StageRecorder::flush`].
+    pub fn new(shared: Arc<Mutex<StageProfile>>) -> Self {
+        Self {
+            local: StageProfile::new(),
+            shared,
+        }
+    }
+
+    #[inline]
+    fn record(&mut self, stage: Stage, dur: Duration) {
+        self.local.record(stage, dur);
+    }
+
+    /// Merges the task-local samples into the shared profile.
+    pub fn flush(&mut self) {
+        self.shared.lock().merge(&self.local);
+        self.local = StageProfile::new();
+    }
+}
 
 /// The dispatcher's side of checkpointing: counts dispatched records and
 /// opens an epoch (injecting one barrier per joiner wire) every
@@ -40,6 +73,8 @@ pub struct DispatcherBolt<R: Router> {
     shed_log: Arc<Mutex<Vec<u64>>>,
     /// Barrier injection state (checkpointing runs only).
     checkpoint: Option<DispatcherCheckpoint>,
+    /// Per-stage latency recording (observability-enabled runs only).
+    stages: Option<StageRecorder>,
 }
 
 impl<R: Router> DispatcherBolt<R> {
@@ -51,7 +86,15 @@ impl<R: Router> DispatcherBolt<R> {
             shed_watermark: None,
             shed_log: Arc::new(Mutex::new(Vec::new())),
             checkpoint: None,
+            stages: None,
         }
+    }
+
+    /// Records per-stage latencies into `shared` (see [`StageRecorder`]).
+    /// `None` (the default) records nothing and costs nothing.
+    pub fn with_stages(mut self, shared: Option<Arc<Mutex<StageProfile>>>) -> Self {
+        self.stages = shared.map(StageRecorder::new);
+        self
     }
 
     /// Feeds the recovery replay buffers as records are routed.
@@ -142,6 +185,21 @@ impl<R: Router> Bolt<JoinMsg> for DispatcherBolt<R> {
             side: incoming.side,
         };
         let decision = self.router.route(&payload.record);
+        // Route span: anchored on the ingest stamp already read above, so
+        // stage recording adds no clock mutation and no extra reads when
+        // disabled. `b` is the record's total fanout.
+        if self.stages.is_some() || out.tracing() {
+            let dur = out.now().saturating_since(payload.ingest);
+            if let Some(st) = &mut self.stages {
+                st.record(Stage::Route, dur);
+            }
+            out.trace_span(
+                Stage::Route,
+                payload.ingest,
+                payload.record.id().0,
+                (decision.index.len() + decision.probe.len()) as u64,
+            );
+        }
         if matches!(msg, JoinMsg::Index(_)) {
             // Restore re-dispatch: the driver replays a checkpoint's window
             // as index-only source tuples. They rebuild joiner state through
@@ -170,6 +228,7 @@ impl<R: Router> Bolt<JoinMsg> for DispatcherBolt<R> {
                 .unwrap_or(0);
             if depth >= watermark {
                 out.record_shed(1);
+                out.trace_instant(Stage::Shed, payload.record.id().0, depth as u64);
                 self.shed_log.lock().push(payload.record.id().0);
                 return;
             }
@@ -198,6 +257,12 @@ impl<R: Router> Bolt<JoinMsg> for DispatcherBolt<R> {
             out.emit_direct(p, JoinMsg::Probe(payload.clone()));
         }
         self.note_dispatched(payload.record.id().0, &decision.index, out);
+    }
+
+    fn finish(&mut self, _out: &mut Outbox<JoinMsg>) {
+        if let Some(st) = &mut self.stages {
+            st.flush();
+        }
     }
 }
 
@@ -383,6 +448,8 @@ pub struct JoinerBolt {
     aligner: BarrierAligner,
     incarnation: u64,
     restored_from_epoch: Option<u64>,
+    /// Per-stage latency recording (observability-enabled runs only).
+    stages: Option<StageRecorder>,
 }
 
 impl JoinerBolt {
@@ -413,9 +480,51 @@ impl JoinerBolt {
             aligner: BarrierAligner::new(1),
             incarnation: 0,
             restored_from_epoch: None,
+            stages: None,
         };
         bolt.replay_lost_state();
         bolt
+    }
+
+    /// Records per-stage latencies into `shared` (see [`StageRecorder`]).
+    /// `None` (the default) records nothing and costs nothing.
+    pub fn with_stages(mut self, shared: Option<Arc<Mutex<StageProfile>>>) -> Self {
+        self.stages = shared.map(StageRecorder::new);
+        self
+    }
+
+    /// Stage timing start: reads the clock only when stage profiling or
+    /// tracing is on, so disabled runs pay nothing.
+    #[inline]
+    fn stage_start(&self, out: &Outbox<JoinMsg>) -> Option<Timestamp> {
+        (self.stages.is_some() || out.tracing()).then(|| out.now())
+    }
+
+    /// Closes a stage span opened by [`Self::stage_start`]: records the
+    /// duration into the stage profile and emits a trace span. Purely
+    /// observational — no randomness, no clock mutation.
+    #[inline]
+    fn stage_end(
+        &mut self,
+        stage: Stage,
+        t0: Option<Timestamp>,
+        a: u64,
+        b: u64,
+        out: &mut Outbox<JoinMsg>,
+    ) {
+        let Some(t0) = t0 else { return };
+        if let Some(st) = &mut self.stages {
+            st.record(stage, out.now().saturating_since(t0));
+        }
+        out.trace_span(stage, t0, a, b);
+    }
+
+    /// Records (or bundle members) currently held by the local joiner.
+    fn stored_len(&self) -> u64 {
+        match &self.local {
+            LocalState::Solo(j) => j.stored() as u64,
+            LocalState::Bi(j) => j.stored() as u64,
+        }
     }
 
     /// Crash recovery: a restarted incarnation rebuilds the index state its
@@ -504,20 +613,23 @@ impl JoinerBolt {
         )
     }
 
-    fn probe(&mut self, payload: &RecordMsg, out: &mut Outbox<JoinMsg>) {
+    fn probe(&mut self, payload: &RecordMsg, out: &mut Outbox<JoinMsg>) -> u64 {
         self.buf.clear();
         self.local.probe(payload, &mut self.buf);
+        let mut emitted = 0u64;
         for pair in self.buf.drain(..) {
             if let Some(d) = &self.dedup {
                 if !d.should_emit(&payload.record, pair.earlier) {
                     continue;
                 }
             }
+            emitted += 1;
             out.emit(JoinMsg::Result {
                 pair,
                 ingest: payload.ingest,
             });
         }
+        emitted
     }
 
     fn insert(&mut self, payload: &RecordMsg) {
@@ -540,22 +652,45 @@ impl Bolt<JoinMsg> for JoinerBolt {
         match msg {
             JoinMsg::Probe(payload) => {
                 self.advance_dedup(&payload.record);
-                self.probe(&payload, out);
+                let t0 = self.stage_start(out);
+                let emitted = self.probe(&payload, out);
+                self.stage_end(Stage::Verify, t0, payload.record.id().0, emitted, out);
             }
             JoinMsg::Index(payload) => {
                 self.advance_dedup(&payload.record);
+                let t0 = self.stage_start(out);
                 self.insert(&payload);
+                if t0.is_some() {
+                    let stored = self.stored_len();
+                    self.stage_end(Stage::Index, t0, payload.record.id().0, stored, out);
+                }
             }
             JoinMsg::ProbeAndIndex(payload) => {
                 self.advance_dedup(&payload.record);
-                self.probe(&payload, out);
+                let t0 = self.stage_start(out);
+                let emitted = self.probe(&payload, out);
+                self.stage_end(Stage::Verify, t0, payload.record.id().0, emitted, out);
+                let t1 = self.stage_start(out);
                 self.insert(&payload);
+                if t1.is_some() {
+                    let stored = self.stored_len();
+                    self.stage_end(Stage::Index, t1, payload.record.id().0, stored, out);
+                }
             }
             JoinMsg::Result { .. } => unreachable!("joiners do not receive results"),
             JoinMsg::Barrier { epoch, injected_at } => {
                 // Alignment stall: how long the barrier sat behind data in
                 // this joiner's queue before the snapshot could be cut.
-                out.record_barrier_stall(out.now().saturating_since(injected_at));
+                let stall = out.now().saturating_since(injected_at);
+                out.record_barrier_stall(stall);
+                if let Some(st) = &mut self.stages {
+                    st.record(Stage::Barrier, stall);
+                }
+                out.trace_instant(
+                    Stage::Barrier,
+                    epoch,
+                    stall.as_nanos().min(u128::from(u64::MAX)) as u64,
+                );
                 if self.aligner.observe(epoch) {
                     let coordinator = self
                         .coordinator
@@ -564,12 +699,15 @@ impl Bolt<JoinMsg> for JoinerBolt {
                     let entries = self.local.window_snapshot();
                     let outcome = coordinator.publish(epoch, self.task, &entries);
                     out.record_checkpoint(outcome.bytes);
+                    out.trace_instant(Stage::Checkpoint, epoch, outcome.bytes);
                     if outcome.completed {
                         // Epoch latency, charged to the task that closed
                         // it: barrier injection to durable commit.
-                        out.record_checkpoint_latency(
-                            out.now().saturating_since(outcome.injected_at),
-                        );
+                        let lat = out.now().saturating_since(outcome.injected_at);
+                        out.record_checkpoint_latency(lat);
+                        if let Some(st) = &mut self.stages {
+                            st.record(Stage::Checkpoint, lat);
+                        }
                     }
                 }
             }
@@ -590,6 +728,9 @@ impl Bolt<JoinMsg> for JoinerBolt {
             snapshot.replay_overflow = recovery.overflowed(self.task);
         }
         self.snapshots.lock().push(snapshot);
+        if let Some(st) = &mut self.stages {
+            st.flush();
+        }
     }
 }
 
@@ -605,12 +746,24 @@ pub struct SinkState {
 /// Terminal bolt: collects result pairs and measures latency. One task.
 pub struct SinkBolt {
     state: Arc<Mutex<SinkState>>,
+    /// Per-stage latency recording (observability-enabled runs only).
+    stages: Option<StageRecorder>,
 }
 
 impl SinkBolt {
     /// A sink writing into shared state.
     pub fn new(state: Arc<Mutex<SinkState>>) -> Self {
-        Self { state }
+        Self {
+            state,
+            stages: None,
+        }
+    }
+
+    /// Records the dispatch-to-result latency of every pair under
+    /// [`Stage::Emit`] in `shared` (see [`StageRecorder`]).
+    pub fn with_stages(mut self, shared: Option<Arc<Mutex<StageProfile>>>) -> Self {
+        self.stages = shared.map(StageRecorder::new);
+        self
     }
 }
 
@@ -621,11 +774,22 @@ impl Bolt<JoinMsg> for SinkBolt {
                 // Dispatch-to-result latency on the topology clock:
                 // wall time in threaded runs, virtual time in simulation.
                 let latency = out.now().saturating_since(ingest);
+                if let Some(st) = &mut self.stages {
+                    st.record(Stage::Emit, latency);
+                }
+                let (earlier, later) = pair.key();
+                out.trace_instant(Stage::Emit, earlier, later);
                 let mut s = self.state.lock();
                 s.pairs.push(pair);
                 s.latency.record(latency);
             }
             _ => unreachable!("sink only receives results"),
+        }
+    }
+
+    fn finish(&mut self, _out: &mut Outbox<JoinMsg>) {
+        if let Some(st) = &mut self.stages {
+            st.flush();
         }
     }
 }

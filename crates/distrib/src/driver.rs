@@ -7,6 +7,7 @@ use crate::checkpoint::{load_latest, CheckpointConfig, CheckpointCoordinator, Sn
 use crate::msg::{JoinMsg, RecordMsg};
 use crate::recovery::RecoveryState;
 use crate::route::{BroadcastRouter, EpochRouter, LengthRouter, PrefixRouter, Router};
+use obs::{RunTrace, StageProfile, TraceConfig, TraceSink};
 use parking_lot::Mutex;
 use ssj_core::{
     AllPairsJoiner, BundleConfig, BundleJoiner, JoinConfig, MatchPair, NaiveJoiner, PpJoinJoiner,
@@ -222,6 +223,16 @@ pub struct DistributedJoinConfig {
     /// Simulated runs report virtual-time latencies and are incompatible
     /// with `source_rate` (pacing sleeps on the wall clock).
     pub scheduler: Scheduler,
+    /// Structured event tracing and per-stage latency profiling: every
+    /// task records pipeline events (dispatch → route → deliver/retry →
+    /// index → verify → emit, plus barrier/checkpoint/shed) into bounded
+    /// rings, collected into [`DistributedJoinResult::trace`], and the
+    /// bolts fill [`DistributedJoinResult::stages`]. Timestamps come from
+    /// the scheduler clock, so a simulated run's trace is byte-identical
+    /// per seed; instrumentation draws no randomness and never advances
+    /// the clock, so transcripts and results are unchanged by enabling
+    /// it. `None` (the default) records nothing and costs nothing.
+    pub trace: Option<TraceConfig>,
 }
 
 impl DistributedJoinConfig {
@@ -244,6 +255,7 @@ impl DistributedJoinConfig {
             replay_buffer_cap: None,
             checkpoint: None,
             restore_from: None,
+            trace: None,
             scheduler: Scheduler::Threads,
         }
     }
@@ -295,6 +307,12 @@ impl DistributedJoinConfig {
         self.scheduler = Scheduler::Sim(SimConfig::seeded(seed));
         self
     }
+
+    /// Enables structured tracing and stage profiling (see [`Self::trace`]).
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = Some(trace);
+        self
+    }
 }
 
 /// Everything a distributed run produced.
@@ -326,6 +344,14 @@ pub struct DistributedJoinResult {
     /// [`Scheduler::Threads`]). Byte-identical across runs with the same
     /// seed and configuration — the determinism witness golden tests pin.
     pub transcript: Option<Transcript>,
+    /// The structured event trace of the run (`None` unless
+    /// [`DistributedJoinConfig::trace`] was set). Under simulation the
+    /// rendered trace is byte-identical per seed.
+    pub trace: Option<RunTrace>,
+    /// Per-stage latency histograms recorded by the pipeline's bolts
+    /// (route, index, verify, emit, barrier, checkpoint). Empty unless
+    /// [`DistributedJoinConfig::trace`] was set.
+    pub stages: StageProfile,
 }
 
 impl DistributedJoinResult {
@@ -546,8 +572,20 @@ fn run_internal(
     let sink_state = Arc::new(Mutex::new(SinkState::default()));
     let snapshots: Arc<Mutex<Vec<JoinerSnapshot>>> = Arc::new(Mutex::new(Vec::new()));
 
+    // Observability: one sink collects every task's event ring, one shared
+    // profile aggregates the bolts' per-stage latencies. Both exist only
+    // when tracing is configured — disabled runs carry no tracer at all.
+    let trace_sink = cfg.trace.as_ref().map(|tc| (TraceSink::new(), tc.clone()));
+    let stage_shared: Option<Arc<Mutex<StageProfile>>> = cfg
+        .trace
+        .as_ref()
+        .map(|_| Arc::new(Mutex::new(StageProfile::new())));
+
     let mut topology: Topology<JoinMsg> =
         Topology::new().with_channel_capacity(cfg.channel_capacity);
+    if let Some((sink, tc)) = &trace_sink {
+        topology = topology.with_tracing(sink.clone(), tc.clone());
+    }
     if let Some(plan) = &cfg.fault {
         topology = topology.with_fault_plan(plan.clone());
     }
@@ -566,7 +604,8 @@ fn run_internal(
         DispatcherBolt::new(router)
             .with_recovery(recovery.clone())
             .with_shedding(cfg.shed_watermark, Arc::clone(&shed_log))
-            .with_checkpointing(coordinator.clone(), bistream),
+            .with_checkpointing(coordinator.clone(), bistream)
+            .with_stages(stage_shared.clone()),
     );
     topology.bolt("dispatcher", 1, move |_| {
         router_slot.take().expect("dispatcher built once")
@@ -576,6 +615,7 @@ fn run_internal(
     let local = cfg.local;
     let k = cfg.k;
     let snaps = Arc::clone(&snapshots);
+    let joiner_stages = stage_shared.clone();
     topology.bolt("joiner", cfg.k, move |task| {
         let dedup = needs_dedup.then_some((join_cfg.threshold, join_cfg.window, k));
         if bistream {
@@ -587,6 +627,7 @@ fn run_internal(
                 recovery.clone(),
                 coordinator.clone(),
             )
+            .with_stages(joiner_stages.clone())
         } else {
             JoinerBolt::new(
                 local.build(join_cfg),
@@ -596,11 +637,15 @@ fn run_internal(
                 recovery.clone(),
                 coordinator.clone(),
             )
+            .with_stages(joiner_stages.clone())
         }
     });
 
     let sink_shared = Arc::clone(&sink_state);
-    topology.bolt("sink", 1, move |_| SinkBolt::new(Arc::clone(&sink_shared)));
+    let sink_stages = stage_shared.clone();
+    topology.bolt("sink", 1, move |_| {
+        SinkBolt::new(Arc::clone(&sink_shared)).with_stages(sink_stages.clone())
+    });
 
     match cfg.chaos_seed {
         Some(seed) => {
@@ -651,6 +696,11 @@ fn run_internal(
     let shed_records = std::mem::take(&mut *shed_log.lock());
     debug_assert_eq!(shed_records.len() as u64, report.shed());
 
+    let trace = trace_sink.map(|(sink, _)| sink.collect());
+    let stages = stage_shared
+        .map(|s| std::mem::take(&mut *s.lock()))
+        .unwrap_or_default();
+
     DistributedJoinResult {
         pairs,
         latency,
@@ -661,6 +711,8 @@ fn run_internal(
         shed_records,
         restored_cut,
         transcript,
+        trace,
+        stages,
     }
 }
 
@@ -719,6 +771,7 @@ mod tests {
                 replay_buffer_cap: None,
                 checkpoint: None,
                 restore_from: None,
+                trace: None,
                 scheduler: Scheduler::Threads,
             };
             assert_eq!(run_keys(&records, &cfg), expect, "local={}", local.name());
@@ -743,6 +796,7 @@ mod tests {
             replay_buffer_cap: None,
             checkpoint: None,
             restore_from: None,
+            trace: None,
             scheduler: Scheduler::Threads,
         };
         assert_eq!(run_keys(&records, &cfg), expect);
@@ -766,6 +820,7 @@ mod tests {
             replay_buffer_cap: None,
             checkpoint: None,
             restore_from: None,
+            trace: None,
             scheduler: Scheduler::Threads,
         };
         assert_eq!(run_keys(&records, &cfg), expect);
@@ -799,6 +854,7 @@ mod tests {
                 replay_buffer_cap: None,
                 checkpoint: None,
                 restore_from: None,
+                trace: None,
                 scheduler: Scheduler::Threads,
             };
             assert_eq!(run_keys(&records, &cfg), expect);
@@ -839,6 +895,7 @@ mod tests {
             replay_buffer_cap: None,
             checkpoint: None,
             restore_from: None,
+            trace: None,
             scheduler: Scheduler::Threads,
         };
         assert_eq!(run_keys(&records, &cfg), expect);
@@ -863,6 +920,7 @@ mod tests {
             replay_buffer_cap: None,
             checkpoint: None,
             restore_from: None,
+            trace: None,
             scheduler: Scheduler::Threads,
         };
         let result = run_distributed(&records, &cfg);
@@ -891,6 +949,7 @@ mod tests {
             replay_buffer_cap: None,
             checkpoint: None,
             restore_from: None,
+            trace: None,
             scheduler: Scheduler::Threads,
         };
         let length = run_distributed(
@@ -926,6 +985,7 @@ mod tests {
             replay_buffer_cap: None,
             checkpoint: None,
             restore_from: None,
+            trace: None,
             scheduler: Scheduler::Threads,
         };
         assert_eq!(run_keys(&records, &cfg), expect);
@@ -995,6 +1055,7 @@ mod tests {
                 replay_buffer_cap: None,
                 checkpoint: None,
                 restore_from: None,
+                trace: None,
                 scheduler: Scheduler::Threads,
             };
             let out = run_bistream_distributed(&left, &right, &cfg);
@@ -1028,6 +1089,7 @@ mod tests {
             replay_buffer_cap: None,
             checkpoint: None,
             restore_from: None,
+            trace: None,
             scheduler: Scheduler::Threads,
         };
         let out = run_bistream_distributed(&left, &right, &cfg);
@@ -1067,6 +1129,7 @@ mod tests {
                 replay_buffer_cap: None,
                 checkpoint: None,
                 restore_from: None,
+                trace: None,
                 scheduler: Scheduler::Threads,
             };
             let result = run_distributed(&records, &cfg);
@@ -1117,6 +1180,7 @@ mod tests {
             replay_buffer_cap: None,
             checkpoint: None,
             restore_from: None,
+            trace: None,
             scheduler: Scheduler::Threads,
         };
         let result = run_distributed(&records, &cfg);
@@ -1151,6 +1215,7 @@ mod tests {
             replay_buffer_cap: None,
             checkpoint: None,
             restore_from: None,
+            trace: None,
             scheduler: Scheduler::Threads,
         };
         let out = run_bistream_distributed(&left, &right, &cfg);
@@ -1240,6 +1305,7 @@ mod tests {
             replay_buffer_cap: None,
             checkpoint: None,
             restore_from: None,
+            trace: None,
             scheduler: Scheduler::Threads,
         };
         let result = run_distributed(&records, &cfg);
@@ -1269,6 +1335,7 @@ mod tests {
             replay_buffer_cap: None,
             checkpoint: None,
             restore_from: None,
+            trace: None,
             scheduler: Scheduler::Threads,
         };
         let result = run_distributed(&records, &cfg);
@@ -1315,6 +1382,7 @@ mod tests {
             replay_buffer_cap: Some(20),
             checkpoint: None,
             restore_from: None,
+            trace: None,
             scheduler: Scheduler::Threads,
         };
         let result = run_distributed(&records, &cfg);
@@ -1356,6 +1424,7 @@ mod tests {
             replay_buffer_cap: Some(400),
             checkpoint: None,
             restore_from: None,
+            trace: None,
             scheduler: Scheduler::Threads,
         };
         let result = run_distributed(&records, &cfg);
@@ -1390,6 +1459,7 @@ mod tests {
                 replay_buffer_cap: None,
                 checkpoint: Some(crate::checkpoint::CheckpointConfig::in_memory(16)),
                 restore_from: None,
+                trace: None,
                 scheduler: Scheduler::Threads,
             };
             let result = run_distributed(&records, &cfg);
@@ -1434,6 +1504,7 @@ mod tests {
             replay_buffer_cap: Some(100),
             checkpoint: Some(crate::checkpoint::CheckpointConfig::in_memory(16)),
             restore_from: None,
+            trace: None,
             scheduler: Scheduler::Threads,
         };
         let result = run_distributed(&records, &cfg);
@@ -1470,6 +1541,7 @@ mod tests {
             replay_buffer_cap: None,
             checkpoint: None,
             restore_from: None,
+            trace: None,
             scheduler: Scheduler::Threads,
         };
 
@@ -1533,5 +1605,65 @@ mod tests {
         );
         assert!(result.throughput() > 0.0);
         assert!(result.load_imbalance() >= 1.0);
+    }
+
+    #[test]
+    fn traced_sim_run_is_byte_deterministic_and_observation_only() {
+        let records = workload(300, 0.3);
+        let join = JoinConfig::jaccard(0.7);
+        // Each run gets a fresh in-memory snapshot store: the epoch counter
+        // resumes from the store's latest committed epoch, so sharing one
+        // store across runs would shift epoch numbers (and the trace).
+        let base = || {
+            DistributedJoinConfig {
+                checkpoint: Some(crate::checkpoint::CheckpointConfig::in_memory(40)),
+                shed_watermark: None,
+                ..DistributedJoinConfig::recommended(3, join)
+            }
+            .with_sim(7)
+        };
+
+        let a = run_distributed(&records, &base().with_trace(TraceConfig::default()));
+        let b = run_distributed(&records, &base().with_trace(TraceConfig::default()));
+        let ta = obs::trace_jsonl(a.trace.as_ref().expect("trace enabled"));
+        let tb = obs::trace_jsonl(b.trace.as_ref().expect("trace enabled"));
+        assert_eq!(ta, tb, "same seed must render a byte-identical trace");
+        assert!(!ta.is_empty());
+        // The full pipeline shows up: source dispatch, routing, delivery,
+        // bolt execution, index/verify, results, and checkpoint barriers.
+        for span in [
+            "dispatch",
+            "route",
+            "deliver",
+            "execute",
+            "index",
+            "verify",
+            "emit",
+            "barrier",
+            "checkpoint",
+        ] {
+            assert!(
+                ta.contains(&format!("\"span\":\"{span}\"")),
+                "missing {span}"
+            );
+        }
+        // Stage profile: every joiner probe and index landed a sample, and
+        // the sink recorded one emit latency per result pair.
+        assert_eq!(a.stages.get(obs::Stage::Emit).count(), a.pairs.len() as u64);
+        assert!(a.stages.get(obs::Stage::Route).count() >= 300);
+        assert!(a.stages.get(obs::Stage::Index).count() > 0);
+        assert!(a.stages.get(obs::Stage::Verify).count() > 0);
+        assert!(a.stages.get(obs::Stage::Barrier).count() > 0);
+
+        // Observation only: the untraced run has the identical transcript,
+        // results, and report counters.
+        let c = run_distributed(&records, &base());
+        assert_eq!(
+            a.transcript, c.transcript,
+            "tracing must not perturb the schedule"
+        );
+        assert_eq!(run_keys_of(&a), run_keys_of(&c));
+        assert!(c.trace.is_none());
+        assert!(c.stages.is_empty());
     }
 }

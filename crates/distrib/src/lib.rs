@@ -47,3 +47,7 @@ pub use route::{BroadcastRouter, LengthRouter, PrefixRouter, RouteDecision, Rout
 // Re-exported so callers configuring `DistributedJoinConfig::scheduler`
 // don't need a direct stormlite dependency.
 pub use stormlite::{Scheduler, SimConfig};
+// Re-exported so callers enabling `DistributedJoinConfig::trace` and
+// consuming `DistributedJoinResult::trace`/`stages` don't need a direct
+// obs dependency.
+pub use obs::{RunTrace, StageProfile, TraceConfig};

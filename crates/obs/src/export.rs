@@ -1,0 +1,316 @@
+//! Byte-deterministic exporters: JSONL trace, Prometheus text
+//! exposition, and chrome://tracing JSON.
+//!
+//! Every number is formatted from integers — nanoseconds directly, and
+//! chrome's microsecond fields as `ns/1000 "." ns%1000` — so identical
+//! inputs render to identical bytes on every platform. No `f64` is ever
+//! formatted, which is what lets simulated-run traces be golden-diffed.
+
+use crate::metric::{MetricValue, MetricsSnapshot};
+use crate::trace::RunTrace;
+use std::fmt::Write as _;
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes a Prometheus label value (backslash, quote, newline).
+fn label_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Nanoseconds rendered as a chrome://tracing microsecond value
+/// (`123456` ns → `123.456`), formatted purely from integers.
+fn micros(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+/// Renders a run trace as JSONL: one event per line in merged
+/// (timestamp, then task) order, with a fixed key order —
+/// `ts, comp, task, span, dur, a, b` — and integer values only.
+///
+/// ```text
+/// {"ts":12000,"comp":"joiner","task":1,"span":"verify","dur":0,"a":17,"b":2}
+/// ```
+pub fn trace_jsonl(trace: &RunTrace) -> String {
+    let mut out = String::new();
+    for (comp, task, ev) in trace.merged() {
+        let _ = writeln!(
+            out,
+            "{{\"ts\":{},\"comp\":\"{}\",\"task\":{},\"span\":\"{}\",\"dur\":{},\"a\":{},\"b\":{}}}",
+            ev.ts,
+            json_escape(comp),
+            task,
+            ev.stage.name(),
+            ev.dur,
+            ev.a,
+            ev.b
+        );
+    }
+    out
+}
+
+/// Renders a run trace as a chrome://tracing JSON array (load it in
+/// `chrome://tracing` or [Perfetto](https://ui.perfetto.dev) for a
+/// flamegraph view). Each task becomes one "thread" (`tid` = its rank in
+/// the deterministic task order), named via `thread_name` metadata
+/// events; spans use phase `"X"` and instants phase `"i"`.
+pub fn trace_chrome(trace: &RunTrace) -> String {
+    let mut out = String::from("[");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if first {
+            first = false;
+        } else {
+            out.push(',');
+        }
+        out.push('\n');
+    };
+    // tid assignment follows the deterministic (comp, task) order.
+    for (tid, t) in trace.tasks.iter().enumerate() {
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{},\"args\":{{\"name\":\"{}/{}\"}}}}",
+            tid,
+            json_escape(&t.comp),
+            t.task
+        );
+    }
+    for (tid, t) in trace.tasks.iter().enumerate() {
+        for ev in &t.events {
+            sep(&mut out);
+            if ev.dur == 0 {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{}\",\"cat\":\"dssj\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":{},\"ts\":{},\"args\":{{\"a\":{},\"b\":{}}}}}",
+                    ev.stage.name(),
+                    tid,
+                    micros(ev.ts),
+                    ev.a,
+                    ev.b
+                );
+            } else {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{}\",\"cat\":\"dssj\",\"ph\":\"X\",\"pid\":0,\"tid\":{},\"ts\":{},\"dur\":{},\"args\":{{\"a\":{},\"b\":{}}}}}",
+                    ev.stage.name(),
+                    tid,
+                    micros(ev.ts),
+                    micros(ev.dur),
+                    ev.a,
+                    ev.b
+                );
+            }
+        }
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", label_escape(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Renders a snapshot in the Prometheus text exposition format
+/// (version 0.0.4). Counters and gauges emit one line per sample;
+/// histograms emit a summary — `quantile="0.5|0.9|0.99|1"` lines plus
+/// `_sum` (nanoseconds) and `_count`. Samples sharing a name must be
+/// adjacent in the snapshot (see
+/// [`MetricsSnapshot`]); the `# HELP`/`# TYPE` header
+/// is emitted once per group.
+pub fn prometheus(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut last: Option<&str> = None;
+    for s in &snap.samples {
+        if last != Some(s.name.as_str()) {
+            let kind = match s.value {
+                MetricValue::Counter(_) => "counter",
+                MetricValue::Gauge(_) => "gauge",
+                MetricValue::Histogram(_) => "summary",
+            };
+            let _ = writeln!(out, "# HELP {} {}", s.name, s.help);
+            let _ = writeln!(out, "# TYPE {} {}", s.name, kind);
+            last = Some(s.name.as_str());
+        }
+        match &s.value {
+            MetricValue::Counter(v) => {
+                let _ = writeln!(out, "{}{} {}", s.name, label_block(&s.labels, None), v);
+            }
+            MetricValue::Gauge(v) => {
+                let _ = writeln!(out, "{}{} {}", s.name, label_block(&s.labels, None), v);
+            }
+            MetricValue::Histogram(h) => {
+                for (q, v) in [
+                    ("0.5", h.p50_ns),
+                    ("0.9", h.p90_ns),
+                    ("0.99", h.p99_ns),
+                    ("1", h.max_ns),
+                ] {
+                    let _ = writeln!(
+                        out,
+                        "{}{} {}",
+                        s.name,
+                        label_block(&s.labels, Some(("quantile", q))),
+                        v
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "{}_sum{} {}",
+                    s.name,
+                    label_block(&s.labels, None),
+                    h.sum_ns
+                );
+                let _ = writeln!(
+                    out,
+                    "{}_count{} {}",
+                    s.name,
+                    label_block(&s.labels, None),
+                    h.count
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, Stage};
+    use crate::histogram::LatencyHistogram;
+    use crate::trace::{TaskTracer, TraceSink};
+    use std::time::Duration;
+
+    fn sample_trace() -> RunTrace {
+        let sink = TraceSink::new();
+        let mut a = TaskTracer::new("joiner", 0, 16);
+        a.record(Event::instant(1000, Stage::Index, 7, 3));
+        a.record(Event::span(2000, Stage::Verify, 500, 7, 2));
+        let mut b = TaskTracer::new("sink", 0, 16);
+        b.record(Event::instant(1500, Stage::Emit, 1, 2));
+        sink.push(a.finish());
+        sink.push(b.finish());
+        sink.collect()
+    }
+
+    #[test]
+    fn jsonl_is_stable_and_merged_by_timestamp() {
+        let t = sample_trace();
+        let text = trace_jsonl(&t);
+        let expected = concat!(
+            "{\"ts\":1000,\"comp\":\"joiner\",\"task\":0,\"span\":\"index\",\"dur\":0,\"a\":7,\"b\":3}\n",
+            "{\"ts\":1500,\"comp\":\"sink\",\"task\":0,\"span\":\"emit\",\"dur\":0,\"a\":1,\"b\":2}\n",
+            "{\"ts\":2000,\"comp\":\"joiner\",\"task\":0,\"span\":\"verify\",\"dur\":500,\"a\":7,\"b\":2}\n",
+        );
+        assert_eq!(text, expected);
+        // Re-export is byte-identical.
+        assert_eq!(trace_jsonl(&t), text);
+    }
+
+    #[test]
+    fn chrome_export_is_valid_shape_and_integer_formatted() {
+        let t = sample_trace();
+        let text = trace_chrome(&t);
+        assert!(text.starts_with('['));
+        assert!(text.trim_end().ends_with(']'));
+        assert!(text.contains("\"thread_name\""));
+        assert!(text.contains("\"joiner/0\""));
+        // 2000 ns → 2.000 µs; 500 ns dur → 0.500 µs.
+        assert!(text.contains("\"ts\":2.000,\"dur\":0.500"));
+        assert!(text.contains("\"ph\":\"i\""));
+        assert_eq!(trace_chrome(&t), text);
+    }
+
+    #[test]
+    fn micros_formats_from_integers() {
+        assert_eq!(micros(0), "0.000");
+        assert_eq!(micros(1), "0.001");
+        assert_eq!(micros(999), "0.999");
+        assert_eq!(micros(1000), "1.000");
+        assert_eq!(micros(123_456_789), "123456.789");
+    }
+
+    #[test]
+    fn prometheus_renders_all_value_kinds() {
+        let mut snap = MetricsSnapshot::new();
+        snap.push_counter(
+            "dssj_msgs_in_total",
+            "tuples received",
+            &[("comp", "joiner"), ("task", "0")],
+            42,
+        );
+        snap.push_counter(
+            "dssj_msgs_in_total",
+            "tuples received",
+            &[("comp", "joiner"), ("task", "1")],
+            43,
+        );
+        snap.push_gauge("dssj_run_elapsed_ns", "run duration", &[], 9);
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_nanos(100));
+        snap.push_histogram("dssj_queue_wait_ns", "queue wait", &[("comp", "sink")], &h);
+        let text = prometheus(&snap);
+        assert!(text.contains("# TYPE dssj_msgs_in_total counter"));
+        // One header per group, two samples.
+        assert_eq!(text.matches("# TYPE dssj_msgs_in_total").count(), 1);
+        assert!(text.contains("dssj_msgs_in_total{comp=\"joiner\",task=\"0\"} 42"));
+        assert!(text.contains("dssj_msgs_in_total{comp=\"joiner\",task=\"1\"} 43"));
+        assert!(text.contains("# TYPE dssj_run_elapsed_ns gauge"));
+        assert!(text.contains("dssj_run_elapsed_ns 9"));
+        assert!(text.contains("# TYPE dssj_queue_wait_ns summary"));
+        assert!(text.contains("dssj_queue_wait_ns{comp=\"sink\",quantile=\"0.5\"} 128"));
+        assert!(text.contains("dssj_queue_wait_ns_sum{comp=\"sink\"} 100"));
+        assert!(text.contains("dssj_queue_wait_ns_count{comp=\"sink\"} 1"));
+        // Every non-comment line is `name{...} <integer>` shaped.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (_, value) = line.rsplit_once(' ').expect("value separator");
+            assert!(
+                value.chars().all(|c| c.is_ascii_digit() || c == '-'),
+                "non-integer value in line: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+        assert_eq!(label_escape("x\"y\\z\n"), "x\\\"y\\\\z\\n");
+    }
+}

@@ -1,0 +1,247 @@
+//! Per-task event rings and deterministic trace collection.
+//!
+//! Each task owns exactly one [`TaskTracer`] — a single-writer bounded
+//! ring of [`Event`]s with no locking on the record path. When a task
+//! finishes, its ring is frozen into a [`TaskTrace`] and pushed into the
+//! shared [`TraceSink`] (one brief mutex acquisition per task per run).
+//! [`TraceSink::collect`] then assembles a [`RunTrace`] whose order is
+//! deterministic regardless of thread join order: tasks sort by
+//! `(component, task)` and the merged event stream stably sorts by
+//! timestamp.
+
+use crate::event::Event;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Configuration for trace collection.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Per-task event ring capacity. When the ring is full the oldest
+    /// event is evicted and counted in [`TaskTrace::dropped`] — tracing
+    /// has bounded memory, never unbounded growth.
+    pub ring_capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self {
+            ring_capacity: 65_536,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// A config with the given per-task ring capacity.
+    pub fn with_capacity(ring_capacity: usize) -> Self {
+        Self { ring_capacity }
+    }
+}
+
+/// Single-writer bounded event ring for one task. Recording is lock-free
+/// (the ring is task-private) and allocation-free after the first fill.
+#[derive(Debug)]
+pub struct TaskTracer {
+    comp: String,
+    task: usize,
+    cap: usize,
+    events: VecDeque<Event>,
+    dropped: u64,
+}
+
+impl TaskTracer {
+    /// A tracer for `comp`/`task` holding at most `cap` events
+    /// (a zero capacity is bumped to one).
+    pub fn new(comp: impl Into<String>, task: usize, cap: usize) -> Self {
+        let cap = cap.max(1);
+        Self {
+            comp: comp.into(),
+            task,
+            cap,
+            events: VecDeque::with_capacity(cap.min(1024)),
+            dropped: 0,
+        }
+    }
+
+    /// Records one event, evicting the oldest when the ring is full.
+    #[inline]
+    pub fn record(&mut self, ev: Event) {
+        if self.events.len() == self.cap {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(ev);
+    }
+
+    /// Events currently buffered.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Freezes the ring into an immutable per-task trace.
+    pub fn finish(self) -> TaskTrace {
+        TaskTrace {
+            comp: self.comp,
+            task: self.task,
+            events: self.events.into(),
+            dropped: self.dropped,
+        }
+    }
+}
+
+/// The completed, immutable event log of one task.
+#[derive(Debug, Clone)]
+pub struct TaskTrace {
+    /// Component name.
+    pub comp: String,
+    /// Task index within the component.
+    pub task: usize,
+    /// Events in record order (ring order after any drops).
+    pub events: Vec<Event>,
+    /// Events evicted because the ring was full.
+    pub dropped: u64,
+}
+
+/// Cloneable collection point for finished task traces. One clone is
+/// handed to each task's completion path; the driver keeps the original
+/// and calls [`TraceSink::collect`] after the run drains.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSink {
+    inner: Arc<Mutex<Vec<TaskTrace>>>,
+}
+
+impl TraceSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deposits one finished task trace.
+    pub fn push(&self, trace: TaskTrace) {
+        // A poisoned lock just means some task panicked (expected under
+        // fault injection); the trace data itself is still sound.
+        let mut guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        guard.push(trace);
+    }
+
+    /// Drains every deposited trace into a deterministic [`RunTrace`]:
+    /// tasks sorted by `(component, task)` no matter the order threads
+    /// finished in.
+    pub fn collect(&self) -> RunTrace {
+        let mut tasks = {
+            let mut guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            std::mem::take(&mut *guard)
+        };
+        tasks.sort_by(|x, y| (x.comp.as_str(), x.task).cmp(&(y.comp.as_str(), y.task)));
+        RunTrace { tasks }
+    }
+}
+
+/// A full run's trace: every task's events in deterministic order.
+#[derive(Debug, Clone, Default)]
+pub struct RunTrace {
+    /// Per-task traces, sorted by `(component, task)`.
+    pub tasks: Vec<TaskTrace>,
+}
+
+impl RunTrace {
+    /// All events merged across tasks: concatenated in `(component,
+    /// task)` order, then stably sorted by timestamp — so ties keep a
+    /// fixed task order and the result is byte-reproducible.
+    pub fn merged(&self) -> Vec<(&str, usize, Event)> {
+        let mut all: Vec<(&str, usize, Event)> = Vec::with_capacity(self.len());
+        for t in &self.tasks {
+            for &ev in &t.events {
+                all.push((t.comp.as_str(), t.task, ev));
+            }
+        }
+        all.sort_by_key(|(_, _, ev)| ev.ts);
+        all
+    }
+
+    /// Total events across all tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.iter().map(|t| t.events.len()).sum()
+    }
+
+    /// Whether no task recorded any event.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events evicted from full rings across all tasks.
+    pub fn dropped(&self) -> u64 {
+        self.tasks.iter().map(|t| t.dropped).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Stage;
+
+    #[test]
+    fn ring_drops_oldest_when_full() {
+        let mut tr = TaskTracer::new("joiner", 1, 3);
+        for i in 0..5u64 {
+            tr.record(Event::instant(i, Stage::Index, i, 0));
+        }
+        assert_eq!(tr.len(), 3);
+        let t = tr.finish();
+        assert_eq!(t.dropped, 2);
+        let ids: Vec<u64> = t.events.iter().map(|e| e.a).collect();
+        assert_eq!(ids, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_is_bumped_to_one() {
+        let mut tr = TaskTracer::new("x", 0, 0);
+        tr.record(Event::instant(1, Stage::Emit, 0, 0));
+        tr.record(Event::instant(2, Stage::Emit, 0, 0));
+        let t = tr.finish();
+        assert_eq!(t.events.len(), 1);
+        assert_eq!(t.dropped, 1);
+    }
+
+    #[test]
+    fn collect_orders_tasks_deterministically() {
+        let sink = TraceSink::new();
+        // Push in scrambled "join order".
+        for (comp, task, ts) in [("sink", 0, 30u64), ("joiner", 1, 20), ("joiner", 0, 10)] {
+            let mut tr = TaskTracer::new(comp, task, 8);
+            tr.record(Event::instant(ts, Stage::Execute, 0, 0));
+            sink.push(tr.finish());
+        }
+        let run = sink.collect();
+        let order: Vec<(&str, usize)> = run
+            .tasks
+            .iter()
+            .map(|t| (t.comp.as_str(), t.task))
+            .collect();
+        assert_eq!(order, vec![("joiner", 0), ("joiner", 1), ("sink", 0)]);
+        let merged = run.merged();
+        let ts: Vec<u64> = merged.iter().map(|(_, _, e)| e.ts).collect();
+        assert_eq!(ts, vec![10, 20, 30]);
+        assert_eq!(run.len(), 3);
+        assert_eq!(run.dropped(), 0);
+    }
+
+    #[test]
+    fn merged_breaks_timestamp_ties_by_task_order() {
+        let sink = TraceSink::new();
+        for task in [1usize, 0] {
+            let mut tr = TaskTracer::new("w", task, 8);
+            tr.record(Event::instant(5, Stage::Deliver, task as u64, 0));
+            sink.push(tr.finish());
+        }
+        let run = sink.collect();
+        let merged = run.merged();
+        // Same ts: stable sort keeps (comp, task) order, not push order.
+        assert_eq!(merged[0].1, 0);
+        assert_eq!(merged[1].1, 1);
+    }
+}

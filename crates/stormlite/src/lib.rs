@@ -53,5 +53,6 @@ pub use grouping::Grouping;
 pub use link::{LinkFault, LinkFaultPlan, LinkFaultSpec};
 pub use message::{BarrierAligner, Bolt, CollectorBolt, Message, Outbox};
 pub use metrics::{LatencyHistogram, RunReport, TaskMetrics};
+pub use obs::{RunTrace, Stage, TraceConfig, TraceSink};
 pub use sim::{Scheduler, SimConfig, SimRun, Transcript};
 pub use topology::Topology;

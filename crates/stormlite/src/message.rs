@@ -6,6 +6,7 @@ use crate::grouping::Grouping;
 use crate::link::{ChaosDice, LinkAction};
 use crate::metrics::TaskMetrics;
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use obs::{Event, Stage, TaskTrace, TaskTracer};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -245,9 +246,34 @@ impl<M: Message> OutWire<M> {
         }
     }
 
+    /// Records one Deliver trace event for a packet entering a channel.
+    /// Purely observational: no clock mutation, no RNG draw, so enabling
+    /// tracing cannot perturb transcripts.
+    fn trace_deliver(&self, tracer: &mut Option<TaskTracer>, packet: &Packet<M>) {
+        if let Some(tr) = tracer {
+            let seq = match packet {
+                Packet::Seq(_, _, s) => *s,
+                Packet::Plain(..) => 0,
+            };
+            tr.record(Event::instant(
+                self.clock.now().as_nanos(),
+                Stage::Deliver,
+                self.link,
+                seq,
+            ));
+        }
+    }
+
     /// Queues one logical emission to `dest`, through the reliable layer
     /// (sequence stamping + retry tracking) and the chaos layer.
-    fn dispatch(&mut self, dest: usize, msg: M, now: Timestamp, metrics: &mut TaskMetrics) {
+    fn dispatch(
+        &mut self,
+        dest: usize,
+        msg: M,
+        now: Timestamp,
+        metrics: &mut TaskMetrics,
+        tracer: &mut Option<TaskTracer>,
+    ) {
         metrics.msgs_out += 1;
         metrics.bytes_out += msg.wire_bytes();
         let packet = if let Some(rel) = &mut self.reliable {
@@ -266,15 +292,22 @@ impl<M: Message> OutWire<M> {
         } else {
             Packet::Plain(msg, now)
         };
-        self.transmit(dest, packet, metrics);
-        self.pump(metrics);
+        self.transmit(dest, packet, metrics, tracer);
+        self.pump(metrics, tracer);
     }
 
     /// One physical transmission attempt: rolls the chaos dice (if the
     /// link is lossy), ages the delay buffer by one transmission, and
     /// releases any delayed packets that have come due.
-    fn transmit(&mut self, dest: usize, packet: Packet<M>, metrics: &mut TaskMetrics) {
+    fn transmit(
+        &mut self,
+        dest: usize,
+        packet: Packet<M>,
+        metrics: &mut TaskMetrics,
+        tracer: &mut Option<TaskTracer>,
+    ) {
         let Some(chaos) = &mut self.chaos else {
+            self.trace_deliver(tracer, &packet);
             self.send_packet(dest, packet);
             return;
         };
@@ -293,6 +326,7 @@ impl<M: Message> OutWire<M> {
         }
         match chaos.dice.roll() {
             LinkAction::Pass => {
+                self.trace_deliver(tracer, &packet);
                 self.send_packet(dest, packet);
             }
             LinkAction::Drop => {
@@ -300,6 +334,8 @@ impl<M: Message> OutWire<M> {
             }
             LinkAction::Duplicate => {
                 metrics.link_duped += 1;
+                self.trace_deliver(tracer, &packet);
+                self.trace_deliver(tracer, &packet);
                 self.send_packet(dest, packet.clone());
                 self.send_packet(dest, packet);
             }
@@ -314,6 +350,7 @@ impl<M: Message> OutWire<M> {
         }
         for (d, p) in due {
             // A delayed packet already had its fault; deliver it directly.
+            self.trace_deliver(tracer, &p);
             self.send_packet(d, p);
         }
     }
@@ -362,7 +399,7 @@ impl<M: Message> OutWire<M> {
     /// timeout has expired. Retransmissions go through the chaos layer
     /// again — each attempt rolls fresh dice, so a retried tuple is never
     /// deterministically re-dropped.
-    fn retransmit_overdue(&mut self, metrics: &mut TaskMetrics) {
+    fn retransmit_overdue(&mut self, metrics: &mut TaskMetrics, tracer: &mut Option<TaskTracer>) {
         let now = self.clock.now();
         let link = self.link;
         let mut to_retx = Vec::new();
@@ -375,34 +412,43 @@ impl<M: Message> OutWire<M> {
                     metrics.retries += 1;
                     metrics.max_backoff =
                         metrics.max_backoff.max(rel.retry.timeout_after(p.retries));
+                    if let Some(tr) = tracer {
+                        tr.record(Event::instant(
+                            now.as_nanos(),
+                            Stage::Retry,
+                            *seq,
+                            u64::from(p.retries),
+                        ));
+                    }
                     to_retx.push((*dest, Packet::Seq(p.msg.clone(), p.sent_at, *seq)));
                 }
             }
         }
         for (dest, packet) in to_retx {
-            self.transmit(dest, packet, metrics);
+            self.transmit(dest, packet, metrics, tracer);
         }
     }
 
     /// Opportunistic maintenance, piggybacked on every emission: drain
     /// acks, then retransmit anything overdue. A no-op on best-effort
     /// wires and O(1) when nothing is pending.
-    fn pump(&mut self, metrics: &mut TaskMetrics) {
+    fn pump(&mut self, metrics: &mut TaskMetrics, tracer: &mut Option<TaskTracer>) {
         let Some(rel) = &self.reliable else { return };
         let idle = rel.unacked.is_empty() && rel.ack_rx.is_empty();
         if idle {
             return;
         }
         self.drain_acks();
-        self.retransmit_overdue(metrics);
+        self.retransmit_overdue(metrics, tracer);
     }
 
     /// Releases every still-delayed packet immediately. Called at
     /// end-of-stream (no further transmissions would age the buffer) and
     /// between settle rounds.
-    fn flush_delayed(&mut self) {
+    fn flush_delayed(&mut self, tracer: &mut Option<TaskTracer>) {
         if let Some(chaos) = &mut self.chaos {
             for (_, dest, packet) in std::mem::take(&mut chaos.delayed) {
+                self.trace_deliver(tracer, &packet);
                 self.send_packet(dest, packet);
             }
         }
@@ -416,8 +462,8 @@ impl<M: Message> OutWire<M> {
     /// Threaded execution only: the wait spins on wall-clock
     /// `recv_timeout`. Simulated runs settle incrementally through
     /// [`sim_settle`](Self::sim_settle) instead.
-    fn settle(&mut self, metrics: &mut TaskMetrics) {
-        self.flush_delayed();
+    fn settle(&mut self, metrics: &mut TaskMetrics, tracer: &mut Option<TaskTracer>) {
+        self.flush_delayed(tracer);
         loop {
             self.drain_acks();
             let Some(rel) = &mut self.reliable else {
@@ -433,8 +479,8 @@ impl<M: Message> OutWire<M> {
             if let Ok(ack) = rel.ack_rx.recv_timeout(wait) {
                 rel.unacked.remove(&(ack.dest, ack.seq));
             }
-            self.retransmit_overdue(metrics);
-            self.flush_delayed();
+            self.retransmit_overdue(metrics, tracer);
+            self.flush_delayed(tracer);
         }
     }
 
@@ -444,11 +490,15 @@ impl<M: Message> OutWire<M> {
     /// the earliest deadline at which a pending tuple becomes overdue, so
     /// the simulation scheduler knows how far to advance the clock when
     /// every task is otherwise idle.
-    pub(crate) fn sim_settle(&mut self, metrics: &mut TaskMetrics) -> Option<Timestamp> {
-        self.flush_delayed();
+    pub(crate) fn sim_settle(
+        &mut self,
+        metrics: &mut TaskMetrics,
+        tracer: &mut Option<TaskTracer>,
+    ) -> Option<Timestamp> {
+        self.flush_delayed(tracer);
         self.drain_acks();
-        self.retransmit_overdue(metrics);
-        self.flush_delayed();
+        self.retransmit_overdue(metrics, tracer);
+        self.flush_delayed(tracer);
         self.drain_acks();
         let link = self.link;
         let rel = self.reliable.as_ref()?;
@@ -473,12 +523,53 @@ pub struct Outbox<M: Message> {
     pub(crate) task_index: usize,
     pub(crate) metrics: TaskMetrics,
     pub(crate) clock: Clock,
+    /// Per-task trace ring; `None` (the default) disables instrumentation
+    /// entirely — every trace helper is then a branch on a `None` and the
+    /// hot path stays as it was before tracing existed.
+    pub(crate) tracer: Option<TaskTracer>,
 }
 
 impl<M: Message> Outbox<M> {
     /// This task's index within its component (0-based).
     pub fn task_index(&self) -> usize {
         self.task_index
+    }
+
+    /// Whether trace collection is enabled for this task. Bolts can gate
+    /// any extra bookkeeping (e.g. stage histograms) on this so disabled
+    /// runs pay nothing.
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// Records an instant trace event at the current clock reading.
+    /// No-op when tracing is disabled. Purely observational: records no
+    /// randomness and never advances the clock, so enabling tracing
+    /// cannot change a simulated run's transcript.
+    #[inline]
+    pub fn trace_instant(&mut self, stage: Stage, a: u64, b: u64) {
+        if let Some(tr) = &mut self.tracer {
+            tr.record(Event::instant(self.clock.now().as_nanos(), stage, a, b));
+        }
+    }
+
+    /// Records a span trace event covering `start ..` now. Under the
+    /// simulation scheduler the clock is frozen within an execute step, so
+    /// intra-step spans deterministically report zero duration; threaded
+    /// runs report real durations. No-op when tracing is disabled.
+    #[inline]
+    pub fn trace_span(&mut self, stage: Stage, start: Timestamp, a: u64, b: u64) {
+        if let Some(tr) = &mut self.tracer {
+            let dur = self.clock.now().saturating_since(start).as_nanos() as u64;
+            tr.record(Event::span(start.as_nanos(), stage, dur, a, b));
+        }
+    }
+
+    /// Detaches and freezes this task's trace ring (if tracing was
+    /// enabled) for deposit into the run's trace sink.
+    pub(crate) fn take_trace(&mut self) -> Option<TaskTrace> {
+        self.tracer.take().map(TaskTracer::finish)
     }
 
     /// The current run time on the topology's clock: real elapsed time in
@@ -501,21 +592,21 @@ impl<M: Message> Outbox<M> {
                     let t = wire.rr_next % wire.senders.len();
                     wire.rr_next = wire.rr_next.wrapping_add(1);
                     let m = msg.clone();
-                    wire.dispatch(t, m, now, &mut self.metrics);
+                    wire.dispatch(t, m, now, &mut self.metrics, &mut self.tracer);
                 }
                 Grouping::Global => {
                     let m = msg.clone();
-                    wire.dispatch(0, m, now, &mut self.metrics);
+                    wire.dispatch(0, m, now, &mut self.metrics, &mut self.tracer);
                 }
                 Grouping::Fields(f) => {
                     let t = (f(&msg) % wire.senders.len() as u64) as usize;
                     let m = msg.clone();
-                    wire.dispatch(t, m, now, &mut self.metrics);
+                    wire.dispatch(t, m, now, &mut self.metrics, &mut self.tracer);
                 }
                 Grouping::Broadcast => {
                     for t in 0..wire.senders.len() {
                         let m = msg.clone();
-                        wire.dispatch(t, m, now, &mut self.metrics);
+                        wire.dispatch(t, m, now, &mut self.metrics, &mut self.tracer);
                     }
                 }
             }
@@ -536,7 +627,7 @@ impl<M: Message> Outbox<M> {
             }
             hit = true;
             let m = msg.clone();
-            wire.dispatch(task, m, now, &mut self.metrics);
+            wire.dispatch(task, m, now, &mut self.metrics, &mut self.tracer);
         }
         assert!(hit, "emit_direct requires a Direct-grouped outgoing wire");
     }
@@ -588,8 +679,8 @@ impl<M: Message> Outbox<M> {
             let wire = &mut self.wires[w];
             // Reliable wires first settle (flush delayed transmissions,
             // await every ack); only then may EOS enter the channel.
-            wire.settle(&mut self.metrics);
-            wire.flush_delayed();
+            wire.settle(&mut self.metrics, &mut self.tracer);
+            wire.flush_delayed(&mut self.tracer);
         }
         self.send_eos_raw();
     }
@@ -601,7 +692,7 @@ impl<M: Message> Outbox<M> {
         let mut earliest: Option<Timestamp> = None;
         for w in 0..self.wires.len() {
             let wire = &mut self.wires[w];
-            if let Some(deadline) = wire.sim_settle(&mut self.metrics) {
+            if let Some(deadline) = wire.sim_settle(&mut self.metrics, &mut self.tracer) {
                 earliest = Some(match earliest {
                     Some(e) if e <= deadline => e,
                     _ => deadline,
@@ -616,7 +707,7 @@ impl<M: Message> Outbox<M> {
     /// [`sim_settle`](Self::sim_settle) reported every wire settled.
     pub(crate) fn send_eos_raw(&mut self) {
         for wire in &mut self.wires {
-            wire.flush_delayed();
+            wire.flush_delayed(&mut self.tracer);
             for s in &wire.senders {
                 s.send(Envelope::Eos).expect("receiver alive until EOS");
             }
@@ -713,6 +804,7 @@ mod tests {
                 task_index: 0,
                 metrics: TaskMetrics::default(),
                 clock: Clock::wall(),
+                tracer: None,
             },
             receivers,
         )

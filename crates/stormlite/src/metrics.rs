@@ -11,91 +11,10 @@
 use std::fmt;
 use std::time::Duration;
 
-/// A latency histogram with logarithmic (power-of-two nanosecond) buckets:
-/// constant memory, O(1) record, ~2× relative quantile error — plenty for
-/// throughput/latency reporting without external dependencies.
-#[derive(Debug, Clone)]
-pub struct LatencyHistogram {
-    buckets: [u64; 64],
-    count: u64,
-    sum_ns: u128,
-    max_ns: u64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self {
-            buckets: [0; 64],
-            count: 0,
-            sum_ns: 0,
-            max_ns: 0,
-        }
-    }
-}
-
-impl LatencyHistogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Records one latency sample.
-    #[inline]
-    pub fn record(&mut self, latency: Duration) {
-        let ns = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
-        let bucket = 63 - ns.max(1).leading_zeros() as usize;
-        self.buckets[bucket] += 1;
-        self.count += 1;
-        self.sum_ns += u128::from(ns);
-        self.max_ns = self.max_ns.max(ns);
-    }
-
-    /// Number of samples recorded.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Mean latency (zero when empty).
-    pub fn mean(&self) -> Duration {
-        if self.count == 0 {
-            return Duration::ZERO;
-        }
-        Duration::from_nanos((self.sum_ns / u128::from(self.count)) as u64)
-    }
-
-    /// Largest recorded latency.
-    pub fn max(&self) -> Duration {
-        Duration::from_nanos(self.max_ns)
-    }
-
-    /// Approximate quantile (`0.0 ..= 1.0`): the upper edge of the bucket
-    /// containing the q-th sample.
-    pub fn quantile(&self, q: f64) -> Duration {
-        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
-        if self.count == 0 {
-            return Duration::ZERO;
-        }
-        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
-        let mut seen = 0;
-        for (b, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= target {
-                return Duration::from_nanos(1u64 << (b + 1).min(63));
-            }
-        }
-        self.max()
-    }
-
-    /// Merges another histogram into this one.
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
-            *a += b;
-        }
-        self.count += other.count;
-        self.sum_ns += other.sum_ns;
-        self.max_ns = self.max_ns.max(other.max_ns);
-    }
-}
+// The histogram now lives in the `obs` crate (shared with the metrics
+// registry and exporters); re-exported here so existing `stormlite`
+// paths keep working.
+pub use obs::LatencyHistogram;
 
 /// Counters for one task of one component.
 #[derive(Debug, Clone, Default)]
@@ -296,6 +215,131 @@ impl RunReport {
         agg
     }
 
+    /// Samples every counter and histogram of this report into an
+    /// exportable [`obs::MetricsSnapshot`], one sample per task labelled
+    /// `comp`/`task`, plus run-level totals. Iteration is metric-major
+    /// (all tasks of one metric before the next) so same-name samples are
+    /// adjacent, as the Prometheus exposition format requires; task order
+    /// follows [`RunReport::tasks`], which both executors assemble in
+    /// deterministic task order — so the rendered text is byte-stable.
+    pub fn metrics_snapshot(&self) -> obs::MetricsSnapshot {
+        // (name, help, per-task getter) rows of the export table.
+        type CounterRow = (&'static str, &'static str, fn(&TaskMetrics) -> u64);
+        type HistRow = (
+            &'static str,
+            &'static str,
+            fn(&TaskMetrics) -> &LatencyHistogram,
+        );
+        let mut snap = obs::MetricsSnapshot::new();
+        let counters: [CounterRow; 14] = [
+            ("dssj_msgs_in_total", "Data tuples received", |m| m.msgs_in),
+            ("dssj_msgs_out_total", "Data tuples emitted", |m| m.msgs_out),
+            ("dssj_bytes_in_total", "Bytes received", |m| m.bytes_in),
+            ("dssj_bytes_out_total", "Bytes emitted", |m| m.bytes_out),
+            (
+                "dssj_busy_ns_total",
+                "Nanoseconds spent inside execute",
+                |m| m.busy.as_nanos().min(u128::from(u64::MAX)) as u64,
+            ),
+            (
+                "dssj_retries_total",
+                "Retransmissions on reliable wires",
+                |m| m.retries,
+            ),
+            (
+                "dssj_dup_drops_total",
+                "Duplicates discarded by receiver dedup",
+                |m| m.dup_drops,
+            ),
+            (
+                "dssj_link_dropped_total",
+                "Transmissions dropped by link faults",
+                |m| m.link_dropped,
+            ),
+            (
+                "dssj_link_duped_total",
+                "Transmissions duplicated by link faults",
+                |m| m.link_duped,
+            ),
+            (
+                "dssj_link_delayed_total",
+                "Transmissions delayed by link faults",
+                |m| m.link_delayed,
+            ),
+            ("dssj_shed_total", "Records shed by overload policy", |m| {
+                m.shed
+            }),
+            (
+                "dssj_dropped_poisoned_total",
+                "Tuples consumed by organic panics",
+                |m| m.dropped_poisoned,
+            ),
+            (
+                "dssj_checkpoints_total",
+                "Checkpoint snapshots captured",
+                |m| m.checkpoints,
+            ),
+            (
+                "dssj_checkpoint_bytes_total",
+                "Serialized checkpoint bytes",
+                |m| m.checkpoint_bytes,
+            ),
+        ];
+        for (name, help, get) in counters {
+            for (comp, task, m) in &self.tasks {
+                let task = task.to_string();
+                snap.push_counter(name, help, &[("comp", comp), ("task", &task)], get(m));
+            }
+        }
+        for (comp, task, m) in &self.tasks {
+            let task = task.to_string();
+            snap.push_gauge(
+                "dssj_max_backoff_ns",
+                "Largest retry backoff reached",
+                &[("comp", comp), ("task", &task)],
+                m.max_backoff.as_nanos().min(i64::MAX as u128) as i64,
+            );
+        }
+        let hists: [HistRow; 3] = [
+            ("dssj_queue_wait_ns", "Input queue wait latency", |m| {
+                &m.queue_wait
+            }),
+            (
+                "dssj_checkpoint_latency_ns",
+                "Per-epoch checkpoint latency",
+                |m| &m.checkpoint_latency,
+            ),
+            ("dssj_barrier_stall_ns", "Barrier alignment stall", |m| {
+                &m.barrier_stall
+            }),
+        ];
+        for (name, help, get) in hists {
+            for (comp, task, m) in &self.tasks {
+                let task = task.to_string();
+                snap.push_histogram(name, help, &[("comp", comp), ("task", &task)], get(m));
+            }
+        }
+        snap.push_counter(
+            "dssj_task_failures_total",
+            "Task panics across the run (injected and organic)",
+            &[],
+            self.failures.len() as u64,
+        );
+        snap.push_counter(
+            "dssj_task_restarts_total",
+            "Task restarts across the run",
+            &[],
+            self.total_restarts(),
+        );
+        snap.push_gauge(
+            "dssj_run_elapsed_ns",
+            "Run duration from launch to full drain",
+            &[],
+            self.elapsed.as_nanos().min(i64::MAX as u128) as i64,
+        );
+        snap
+    }
+
     /// Per-task `msgs_in` of one component (load-balance reporting).
     pub fn component_task_loads(&self, name: &str) -> Vec<u64> {
         let mut loads: Vec<(usize, u64)> = self
@@ -337,126 +381,6 @@ mod tests {
     use super::*;
 
     #[test]
-    fn histogram_basic_stats() {
-        let mut h = LatencyHistogram::new();
-        h.record(Duration::from_nanos(100));
-        h.record(Duration::from_nanos(200));
-        h.record(Duration::from_micros(10));
-        assert_eq!(h.count(), 3);
-        assert_eq!(h.max(), Duration::from_micros(10));
-        assert!(h.mean() >= Duration::from_nanos(100));
-    }
-
-    #[test]
-    fn histogram_quantiles_are_ordered() {
-        let mut h = LatencyHistogram::new();
-        for i in 1..=1000u64 {
-            h.record(Duration::from_nanos(i * 1000));
-        }
-        let p50 = h.quantile(0.5);
-        let p99 = h.quantile(0.99);
-        assert!(p50 <= p99);
-        // Log buckets: within 2x of the true values.
-        assert!(p50 >= Duration::from_nanos(500_000 / 2));
-        assert!(p99 <= Duration::from_nanos(4 * 990_000));
-    }
-
-    #[test]
-    fn histogram_bucket_edge_at_one_nanosecond() {
-        // 1 ns lands in bucket 0 ([1, 2) ns): the quantile estimate is the
-        // bucket's upper edge, 2 ns — exactly the documented 2× bound.
-        let mut h = LatencyHistogram::new();
-        h.record(Duration::from_nanos(1));
-        assert_eq!(h.quantile(1.0), Duration::from_nanos(2));
-        assert_eq!(h.max(), Duration::from_nanos(1));
-        // 0 ns is clamped into bucket 0 rather than shifting out of range.
-        let mut z = LatencyHistogram::new();
-        z.record(Duration::ZERO);
-        assert_eq!(z.quantile(1.0), Duration::from_nanos(2));
-    }
-
-    #[test]
-    fn histogram_bucket_edges_at_powers_of_two() {
-        // A sample of exactly 2^k sits at the lower edge of bucket k, so
-        // the estimate 2^(k+1) is exactly 2× — the worst case the bound
-        // promises. One below (2^k - 1) stays in bucket k-1.
-        for k in 1..62u32 {
-            let mut h = LatencyHistogram::new();
-            h.record(Duration::from_nanos(1u64 << k));
-            assert_eq!(
-                h.quantile(1.0),
-                Duration::from_nanos(1u64 << (k + 1)),
-                "2^{k} must report its bucket's upper edge"
-            );
-            let mut low = LatencyHistogram::new();
-            low.record(Duration::from_nanos((1u64 << k) - 1));
-            assert_eq!(
-                low.quantile(1.0),
-                Duration::from_nanos(1u64 << k),
-                "2^{k} - 1 must stay in the bucket below"
-            );
-        }
-    }
-
-    #[test]
-    fn histogram_bucket_edge_at_u64_max() {
-        // u64::MAX ns lands in the top bucket (63), whose reported edge is
-        // clamped to 2^63 ns so the estimate stays representable; the
-        // estimate errs *low* here but still within the 2× bound
-        // (u64::MAX / 2^63 < 2).
-        let mut h = LatencyHistogram::new();
-        h.record(Duration::from_nanos(u64::MAX));
-        assert_eq!(h.quantile(1.0), Duration::from_nanos(1u64 << 63));
-        assert_eq!(h.max(), Duration::from_nanos(u64::MAX));
-        assert!(u64::MAX as f64 / (1u64 << 63) as f64 <= 2.0);
-    }
-
-    #[test]
-    fn histogram_quantile_error_is_within_2x() {
-        // The documented guarantee: for any sample set and any quantile,
-        // estimate / true ∈ [1, 2] (buckets below the clamp). Exercise a
-        // mix of scales, including exact powers of two.
-        let samples: Vec<u64> = (0..2000u64)
-            .map(|i| (i % 60).pow(2) * 37 + i + 1)
-            .chain((0..10).map(|k| 1u64 << (k * 5)))
-            .collect();
-        let mut sorted = samples.clone();
-        sorted.sort_unstable();
-        let mut h = LatencyHistogram::new();
-        for &s in &samples {
-            h.record(Duration::from_nanos(s));
-        }
-        for q in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
-            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-            let truth = sorted[rank - 1];
-            let est = h.quantile(q).as_nanos() as u64;
-            assert!(
-                est >= truth && est <= truth.saturating_mul(2),
-                "q={q}: estimate {est} outside [{truth}, {}]",
-                truth.saturating_mul(2)
-            );
-        }
-    }
-
-    #[test]
-    fn histogram_empty() {
-        let h = LatencyHistogram::new();
-        assert_eq!(h.mean(), Duration::ZERO);
-        assert_eq!(h.quantile(0.99), Duration::ZERO);
-    }
-
-    #[test]
-    fn histogram_merge() {
-        let mut a = LatencyHistogram::new();
-        let mut b = LatencyHistogram::new();
-        a.record(Duration::from_nanos(10));
-        b.record(Duration::from_nanos(1_000_000));
-        a.merge(&b);
-        assert_eq!(a.count(), 2);
-        assert_eq!(a.max(), Duration::from_nanos(1_000_000));
-    }
-
-    #[test]
     fn report_aggregation() {
         let m1 = TaskMetrics {
             msgs_in: 5,
@@ -486,5 +410,80 @@ mod tests {
         assert_eq!(report.total_bytes(), 150);
         let text = report.to_string();
         assert!(text.contains("joiner"));
+    }
+
+    /// Every [`TaskMetrics`] field plus the run-level counters must appear
+    /// in the exported snapshot — this list is the export-schema contract.
+    #[test]
+    fn metrics_snapshot_covers_every_report_field() {
+        let mut m = TaskMetrics {
+            msgs_in: 1,
+            msgs_out: 2,
+            bytes_in: 3,
+            bytes_out: 4,
+            busy: Duration::from_nanos(5),
+            retries: 6,
+            dup_drops: 7,
+            link_dropped: 8,
+            link_duped: 9,
+            link_delayed: 10,
+            shed: 11,
+            dropped_poisoned: 12,
+            max_backoff: Duration::from_nanos(13),
+            checkpoints: 14,
+            checkpoint_bytes: 15,
+            ..TaskMetrics::default()
+        };
+        m.queue_wait.record(Duration::from_nanos(16));
+        m.checkpoint_latency.record(Duration::from_nanos(17));
+        m.barrier_stall.record(Duration::from_nanos(18));
+        let report = RunReport {
+            tasks: vec![
+                ("joiner".into(), 0, m),
+                ("sink".into(), 0, TaskMetrics::default()),
+            ],
+            failures: vec![("joiner".into(), 0, "boom".into())],
+            restarts: vec![("joiner".into(), 0, 2)],
+            elapsed: Duration::from_nanos(99),
+        };
+        let snap = report.metrics_snapshot();
+        let expected = [
+            "dssj_msgs_in_total",
+            "dssj_msgs_out_total",
+            "dssj_bytes_in_total",
+            "dssj_bytes_out_total",
+            "dssj_busy_ns_total",
+            "dssj_retries_total",
+            "dssj_dup_drops_total",
+            "dssj_link_dropped_total",
+            "dssj_link_duped_total",
+            "dssj_link_delayed_total",
+            "dssj_shed_total",
+            "dssj_dropped_poisoned_total",
+            "dssj_checkpoints_total",
+            "dssj_checkpoint_bytes_total",
+            "dssj_max_backoff_ns",
+            "dssj_queue_wait_ns",
+            "dssj_checkpoint_latency_ns",
+            "dssj_barrier_stall_ns",
+            "dssj_task_failures_total",
+            "dssj_task_restarts_total",
+            "dssj_run_elapsed_ns",
+        ];
+        assert_eq!(snap.names(), expected.to_vec());
+        let text = obs::prometheus(&snap);
+        for name in expected {
+            assert!(
+                text.contains(&format!("# TYPE {name} ")),
+                "metric {name} missing from exposition"
+            );
+        }
+        assert!(text.contains("dssj_msgs_in_total{comp=\"joiner\",task=\"0\"} 1"));
+        assert!(text.contains("dssj_msgs_in_total{comp=\"sink\",task=\"0\"} 0"));
+        assert!(text.contains("dssj_task_failures_total 1"));
+        assert!(text.contains("dssj_task_restarts_total 2"));
+        assert!(text.contains("dssj_run_elapsed_ns 99"));
+        // Byte-stable: a second snapshot renders identically.
+        assert_eq!(obs::prometheus(&report.metrics_snapshot()), text);
     }
 }

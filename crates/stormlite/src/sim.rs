@@ -58,6 +58,7 @@ use crate::message::{Envelope, Message, Outbox};
 use crate::metrics::RunReport;
 use crate::topology::{build_outbox, expected_eos_counts, panic_message, BoltCore, Kind, Topology};
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use obs::{Stage, TaskTracer};
 use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::Duration;
@@ -219,6 +220,8 @@ struct SimTask<M: Message> {
     kind: TaskKind<M>,
     phase: Phase,
     spout_failures: Vec<String>,
+    /// Records pulled so far (spouts only): the dispatch-event ordinal.
+    pulls: u64,
 }
 
 impl<M: Message> SimTask<M> {
@@ -262,6 +265,12 @@ pub(crate) fn execute<M: Message>(topology: Topology<M>, cfg: SimConfig) -> SimR
 
     let expected_eos = expected_eos_counts(&topology.components, &topology.wires);
     let names: Vec<String> = topology.components.iter().map(|c| c.name.clone()).collect();
+    let trace = topology.trace.clone();
+    let tracer_for = |comp: &str, task: usize| {
+        trace
+            .as_ref()
+            .map(|(_, cfg)| TaskTracer::new(comp, task, cfg.ring_capacity))
+    };
 
     let mut tasks: Vec<SimTask<M>> = Vec::new();
     for (i, c) in topology.components.into_iter().enumerate() {
@@ -275,6 +284,7 @@ pub(crate) fn execute<M: Message>(topology: Topology<M>, cfg: SimConfig) -> SimR
                     &clock,
                     i,
                     0,
+                    tracer_for(&c.name, 0),
                 );
                 tasks.push(SimTask {
                     name: c.name,
@@ -283,6 +293,7 @@ pub(crate) fn execute<M: Message>(topology: Topology<M>, cfg: SimConfig) -> SimR
                     kind: TaskKind::Spout(source.take().expect("spout source present")),
                     phase: Phase::Running,
                     spout_failures: Vec::new(),
+                    pulls: 0,
                 });
             }
             Kind::Bolt(factory) => {
@@ -297,6 +308,7 @@ pub(crate) fn execute<M: Message>(topology: Topology<M>, cfg: SimConfig) -> SimR
                         &clock,
                         i,
                         task,
+                        tracer_for(&c.name, task),
                     );
                     let core = Box::new(BoltCore::new(
                         Arc::clone(&factory),
@@ -315,6 +327,7 @@ pub(crate) fn execute<M: Message>(topology: Topology<M>, cfg: SimConfig) -> SimR
                         },
                         phase: Phase::Running,
                         spout_failures: Vec::new(),
+                        pulls: 0,
                     });
                 }
             }
@@ -389,6 +402,8 @@ pub(crate) fn execute<M: Message>(topology: Topology<M>, cfg: SimConfig) -> SimR
                 let next = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| source.next()));
                 match next {
                     Ok(Some(msg)) => {
+                        t.outbox.trace_instant(Stage::Dispatch, t.pulls, 0);
+                        t.pulls += 1;
                         t.outbox.emit(msg);
                         lines.push(format!("{step} t={now_ns} {}/{} pull", t.name, t.task));
                     }
@@ -429,6 +444,9 @@ pub(crate) fn execute<M: Message>(topology: Topology<M>, cfg: SimConfig) -> SimR
     let mut failures = Vec::new();
     let mut restarts = Vec::new();
     for mut t in tasks {
+        if let (Some((sink, _)), Some(tt)) = (&trace, t.outbox.take_trace()) {
+            sink.push(tt);
+        }
         let metrics = std::mem::take(&mut t.outbox.metrics);
         let (task_failures, restart_count) = match t.kind {
             TaskKind::Spout(_) => (t.spout_failures, 0),
@@ -632,6 +650,46 @@ mod tests {
             .failures
             .iter()
             .any(|(_, _, m)| m.contains("injected fault")));
+    }
+
+    #[test]
+    fn sim_tracing_is_deterministic_and_leaves_transcript_unchanged() {
+        let run_once = |traced: bool| {
+            let plan = LinkFaultPlan::new(5).lossy("relay", "sink", LinkFault::seeded(5));
+            let (t, out) = pipeline(
+                40,
+                Delivery::AtLeastOnce(RetryConfig::default()),
+                plan,
+                FaultPlan::new(),
+            );
+            let sink = obs::TraceSink::new();
+            let t = if traced {
+                t.with_tracing(sink.clone(), obs::TraceConfig::default())
+            } else {
+                t
+            };
+            let run = t.run_sim(SimConfig::seeded(11));
+            (run, sorted(&out), obs::trace_jsonl(&sink.collect()))
+        };
+        let (a, va, ta) = run_once(true);
+        let (b, vb, tb) = run_once(true);
+        assert_eq!(ta, tb, "same seed must produce a byte-identical trace");
+        assert!(!ta.is_empty());
+        // Every pipeline stage the topology exercises shows up.
+        for span in ["dispatch", "deliver", "retry", "execute"] {
+            assert!(
+                ta.contains(&format!("\"span\":\"{span}\"")),
+                "missing {span}"
+            );
+        }
+        assert_eq!(a.transcript, b.transcript);
+        assert_eq!(va, vb);
+        // Tracing is purely observational: disabling it changes neither
+        // the transcript nor the output.
+        let (c, vc, tc) = run_once(false);
+        assert_eq!(a.transcript, c.transcript);
+        assert_eq!(va, vc);
+        assert!(tc.is_empty());
     }
 
     #[test]

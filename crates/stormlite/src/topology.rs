@@ -11,6 +11,7 @@ use crate::message::{
 use crate::metrics::{RunReport, TaskMetrics};
 use crate::sim::{Scheduler, SimConfig, SimRun};
 use crossbeam::channel::{bounded, Receiver, Sender};
+use obs::{Stage, TaskTracer, TraceConfig, TraceSink};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -50,6 +51,7 @@ pub struct Topology<M: Message> {
     pub(crate) fault_plan: FaultPlan,
     pub(crate) link_plan: LinkFaultPlan,
     pub(crate) restart_budget: u64,
+    pub(crate) trace: Option<(TraceSink, TraceConfig)>,
 }
 
 impl<M: Message> Default for Topology<M> {
@@ -68,7 +70,23 @@ impl<M: Message> Topology<M> {
             fault_plan: FaultPlan::new(),
             link_plan: LinkFaultPlan::default(),
             restart_budget: 0,
+            trace: None,
         }
+    }
+
+    /// Enables structured trace collection: every task records pipeline
+    /// events (dispatch, deliver, retry, execute, plus whatever the bolts
+    /// add through [`Outbox::trace_span`] / [`Outbox::trace_instant`])
+    /// into a bounded per-task ring; finished rings are deposited into
+    /// `sink`, which the caller drains after the run. Timestamps come
+    /// from the run's scheduler clock, so a simulated run's collected
+    /// trace is deterministic per seed — and collection itself records no
+    /// randomness and never advances the clock, so enabling it leaves
+    /// transcripts byte-identical. When not called, no tracer exists and
+    /// the hot path is untouched.
+    pub fn with_tracing(mut self, sink: TraceSink, cfg: TraceConfig) -> Self {
+        self.trace = Some((sink, cfg));
+        self
     }
 
     /// Overrides the per-task input queue capacity (backpressure depth).
@@ -325,8 +343,21 @@ impl<M: Message> Topology<M> {
         for (i, c) in self.components.into_iter().enumerate() {
             match c.kind {
                 Kind::Spout(mut source) => {
-                    let mut outbox =
-                        build_outbox(&self.wires, &names, &self.link_plan, &senders, &clock, i, 0);
+                    let tracer = self
+                        .trace
+                        .as_ref()
+                        .map(|(_, cfg)| TaskTracer::new(names[i].clone(), 0, cfg.ring_capacity));
+                    let sink = self.trace.as_ref().map(|(s, _)| s.clone());
+                    let mut outbox = build_outbox(
+                        &self.wires,
+                        &names,
+                        &self.link_plan,
+                        &senders,
+                        &clock,
+                        i,
+                        0,
+                        tracer,
+                    );
                     let name = c.name.clone();
                     let source = source.take().expect("spout source present");
                     handles.push((
@@ -334,7 +365,13 @@ impl<M: Message> Topology<M> {
                         0usize,
                         std::thread::Builder::new()
                             .name(format!("{name}-0"))
-                            .spawn(move || run_spout(source, &mut outbox))
+                            .spawn(move || {
+                                let result = run_spout(source, &mut outbox);
+                                if let (Some(s), Some(t)) = (&sink, outbox.take_trace()) {
+                                    s.push(t);
+                                }
+                                result
+                            })
                             .expect("spawn spout"),
                     ));
                 }
@@ -345,6 +382,10 @@ impl<M: Message> Topology<M> {
                     let factory = Arc::new(Mutex::new(factory));
                     let comp_receivers = std::mem::take(&mut receivers[i]);
                     for (task, rx_slot) in comp_receivers.into_iter().enumerate() {
+                        let tracer = self.trace.as_ref().map(|(_, cfg)| {
+                            TaskTracer::new(names[i].clone(), task, cfg.ring_capacity)
+                        });
+                        let sink = self.trace.as_ref().map(|(s, _)| s.clone());
                         let mut outbox = build_outbox(
                             &self.wires,
                             &names,
@@ -353,6 +394,7 @@ impl<M: Message> Topology<M> {
                             &clock,
                             i,
                             task,
+                            tracer,
                         );
                         let rx = rx_slot.expect("receiver unclaimed");
                         let expected = expected_eos[i];
@@ -378,6 +420,9 @@ impl<M: Message> Topology<M> {
                                             outbox.send_eos();
                                             break;
                                         }
+                                    }
+                                    if let (Some(s), Some(t)) = (&sink, outbox.take_trace()) {
+                                        s.push(t);
                                     }
                                     (
                                         std::mem::take(&mut outbox.metrics),
@@ -436,8 +481,10 @@ pub(crate) fn expected_eos_counts<M: Message>(
 }
 
 /// Builds the outbox of one task: its outgoing wires with their chaos and
-/// reliable-delivery layers, all reading the run's shared clock. Used by
-/// both the threaded and the simulation executor.
+/// reliable-delivery layers, all reading the run's shared clock, plus the
+/// task's trace ring when tracing is enabled. Used by both the threaded
+/// and the simulation executor.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn build_outbox<M: Message>(
     wire_defs: &[WireDef<M>],
     names: &[String],
@@ -446,6 +493,7 @@ pub(crate) fn build_outbox<M: Message>(
     clock: &Clock,
     comp: usize,
     task: usize,
+    tracer: Option<TaskTracer>,
 ) -> Outbox<M> {
     let wires = wire_defs
         .iter()
@@ -480,6 +528,7 @@ pub(crate) fn build_outbox<M: Message>(
         task_index: task,
         metrics: TaskMetrics::default(),
         clock: clock.clone(),
+        tracer,
     }
 }
 
@@ -489,12 +538,17 @@ fn run_spout<M: Message>(
 ) -> (TaskMetrics, Vec<String>, u64) {
     let mut source = source;
     let mut failures = Vec::new();
+    let mut ordinal = 0u64;
     loop {
         // Each pull is isolated: a panicking source stops emitting but the
         // topology still receives EOS and drains cleanly.
         let next = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| source.next()));
         match next {
-            Ok(Some(msg)) => outbox.emit(msg),
+            Ok(Some(msg)) => {
+                outbox.trace_instant(Stage::Dispatch, ordinal, 0);
+                ordinal += 1;
+                outbox.emit(msg);
+            }
             Ok(None) => break,
             Err(panic) => {
                 failures.push(panic_message(panic));
@@ -673,6 +727,7 @@ impl<M: Message> BoltCore<M> {
                 instance.execute(msg, outbox)
             }));
             outbox.metrics.busy += outbox.clock.now().saturating_since(t0);
+            outbox.trace_span(Stage::Execute, t0, self.processed, 0);
             match r {
                 Ok(()) => self.processed += 1,
                 Err(panic) => {

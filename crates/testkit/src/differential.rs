@@ -164,6 +164,7 @@ pub fn run_differential(seed: u64, case: &DifferentialCase) -> DifferentialOutco
         replay_buffer_cap: None,
         checkpoint: case.checkpoint_interval.map(CheckpointConfig::in_memory),
         restore_from: None,
+        trace: None,
         scheduler: Scheduler::Sim(SimConfig::seeded(seed)),
     };
     if case.crash {
@@ -271,6 +272,7 @@ pub fn run_restore_differential(seed: u64, case: &DifferentialCase) -> RestoreOu
         replay_buffer_cap: None,
         checkpoint: Some(CheckpointConfig::new(interval, Arc::clone(&store))),
         restore_from: None,
+        trace: None,
         scheduler: Scheduler::Sim(SimConfig::seeded(seed)),
     };
     if case.crash {

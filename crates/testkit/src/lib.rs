@@ -32,4 +32,6 @@ pub use differential::{
 pub use oracle::{
     bistream_join, overlap, self_join, self_join_surviving, shed_recall, sorted_keys,
 };
-pub use transcript::{diff, reference_checkpoint_run, reference_run};
+pub use transcript::{
+    diff, reference_checkpoint_run, reference_run, reference_trace_run, reference_traceable_run,
+};

@@ -96,6 +96,50 @@ pub fn reference_checkpoint_run(seed: u64) -> ssj_distrib::DistributedJoinResult
         replay_buffer_cap: None,
         checkpoint: Some(CheckpointConfig::in_memory(25)),
         restore_from: None,
+        trace: None,
+        scheduler: stormlite::Scheduler::Sim(SimConfig::seeded(seed)),
+    };
+    ssj_distrib::run_distributed(&records, &cfg)
+}
+
+/// The traced counterpart of [`reference_checkpoint_run`]: the identical
+/// topology, workload, faults and seed, with structured tracing enabled.
+/// Rendering its [`obs::RunTrace`] through [`obs::trace_jsonl`] must be
+/// byte-identical for a given seed — the trace is golden-diffable exactly
+/// like the transcript — and because tracing is observation-only, the
+/// run's transcript and results must equal the untraced run's.
+pub fn reference_trace_run(seed: u64) -> ssj_distrib::DistributedJoinResult {
+    reference_traceable_run(seed, true)
+}
+
+/// [`reference_checkpoint_run`] with tracing switchable, so the
+/// disabled-instrumentation regression test can compare the two paths.
+pub fn reference_traceable_run(seed: u64, traced: bool) -> ssj_distrib::DistributedJoinResult {
+    use ssj_core::JoinConfig;
+    use ssj_distrib::{
+        CheckpointConfig, DistributedJoinConfig, LocalAlgo, PartitionMethod, Strategy, TraceConfig,
+    };
+    use ssj_workloads::StreamGenerator;
+
+    let records =
+        StreamGenerator::new(crate::differential::differential_profile(), seed).take_records(120);
+    let cfg = DistributedJoinConfig {
+        k: 2,
+        join: JoinConfig::jaccard(0.7),
+        local: LocalAlgo::PpJoin,
+        strategy: Strategy::LengthAuto {
+            method: PartitionMethod::LoadAware,
+            sample: 40,
+        },
+        channel_capacity: 32,
+        source_rate: None,
+        fault: Some(stormlite::FaultPlan::new().crash_seeded("joiner", 2, 40, seed)),
+        chaos_seed: Some(seed),
+        shed_watermark: None,
+        replay_buffer_cap: None,
+        checkpoint: Some(CheckpointConfig::in_memory(25)),
+        restore_from: None,
+        trace: traced.then(TraceConfig::default),
         scheduler: stormlite::Scheduler::Sim(SimConfig::seeded(seed)),
     };
     ssj_distrib::run_distributed(&records, &cfg)

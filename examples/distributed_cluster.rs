@@ -51,6 +51,7 @@ fn main() {
             replay_buffer_cap: None,
             checkpoint: None,
             restore_from: None,
+            trace: None,
             scheduler: Scheduler::Threads,
         };
         let out = run_distributed(&records, &cfg);

@@ -83,6 +83,7 @@ fn bistream_window_and_prefix_strategy() {
         replay_buffer_cap: None,
         checkpoint: None,
         restore_from: None,
+        trace: None,
         scheduler: Scheduler::Threads,
     };
     let out = run_bistream_distributed(&left, &right, &cfg);

@@ -74,6 +74,7 @@ fn text_pipeline_to_distributed_join() {
             replay_buffer_cap: None,
             checkpoint: None,
             restore_from: None,
+            trace: None,
             scheduler: Scheduler::Threads,
         };
         let out = run_distributed(&records, &cfg);

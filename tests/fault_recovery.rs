@@ -119,6 +119,7 @@ proptest! {
                     replay_buffer_cap: None,
                     checkpoint: None,
                     restore_from: None,
+                trace: None,
                     scheduler: Scheduler::Threads,
                 };
                 let out = run_distributed(&records, &cfg);
@@ -178,6 +179,7 @@ proptest! {
             replay_buffer_cap: None,
             checkpoint: None,
             restore_from: None,
+                trace: None,
             scheduler: Scheduler::Threads,
         };
         let out = run_distributed(&records, &cfg);
@@ -229,6 +231,7 @@ proptest! {
                 replay_buffer_cap: None,
                 checkpoint: None,
                 restore_from: None,
+                trace: None,
                 scheduler: Scheduler::Threads,
             };
             let out = run_distributed(&records, &cfg);
@@ -287,6 +290,7 @@ proptest! {
             replay_buffer_cap: None,
             checkpoint: Some(CheckpointConfig::in_memory(interval)),
             restore_from: None,
+                trace: None,
             scheduler: Scheduler::Threads,
         };
         let out = run_distributed(&records, &cfg);

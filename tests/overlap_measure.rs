@@ -94,6 +94,7 @@ fn distributed_overlap_equals_naive_under_every_strategy() {
             replay_buffer_cap: None,
             checkpoint: None,
             restore_from: None,
+            trace: None,
             scheduler: Scheduler::Threads,
         };
         let out = run_distributed(&records, &dc);

@@ -105,6 +105,7 @@ fn distributed_window_equals_local_window() {
                 replay_buffer_cap: None,
                 checkpoint: None,
                 restore_from: None,
+                trace: None,
                 scheduler: Scheduler::Threads,
             };
             let out = run_distributed(&records, &cfg);
